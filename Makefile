@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test race bench experiments figures fuzz clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/extract/ ./internal/bayes/ ./internal/dbn/ ./internal/track/ .
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every paper figure/result at full size (see DESIGN.md §4).
+experiments:
+	go run ./cmd/sljexp -exp all -artifacts figures/ | tee results_full.txt
+
+figures:
+	go run ./cmd/sljexp -exp fig1,fig5,fig7,fig8 -artifacts figures/
+
+# Short fuzz pass over the codecs (the decoders are fuzz-hardened).
+fuzz:
+	go test -fuzz FuzzDecodePGM -fuzztime 10s ./internal/imaging/
+	go test -fuzz FuzzDecodePPM -fuzztime 10s ./internal/imaging/
+	go test -fuzz FuzzDecodePBM -fuzztime 10s ./internal/imaging/
+	go test -fuzz FuzzReader -fuzztime 10s ./internal/video/
+
+clean:
+	rm -rf figures/ results_full.txt test_output.txt bench_output.txt

@@ -1,0 +1,597 @@
+package slj
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/dbn"
+	"repro/internal/extract"
+	"repro/internal/ga"
+	"repro/internal/imaging"
+	"repro/internal/keypoint"
+	"repro/internal/pose"
+	"repro/internal/scoring"
+	"repro/internal/skelgraph"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/thinning"
+	"repro/internal/track"
+)
+
+// Re-exported domain types, so the public API is usable without importing
+// the internal packages directly.
+type (
+	// Pose is one of the 22 defined poses (or PoseUnknown).
+	Pose = pose.Pose
+	// Stage is one of the four jump stages.
+	Stage = pose.Stage
+	// KeyPoints are the five located body key points plus the waist.
+	KeyPoints = keypoint.KeyPoints
+	// Encoding is the Figure 6 area feature vector.
+	Encoding = keypoint.Encoding
+	// Result is one frame's classification.
+	Result = dbn.Result
+	// Report is a scored coaching report.
+	Report = scoring.Report
+	// Summary is the per-clip accuracy table.
+	Summary = stats.Summary
+	// Confusion is the pose confusion matrix.
+	Confusion = stats.Confusion
+	// Dataset is a train/test split of labelled clips.
+	Dataset = dataset.Dataset
+	// LabeledClip is one named clip with ground truth.
+	LabeledClip = dataset.LabeledClip
+	// Clip is a generated video clip.
+	Clip = synth.Clip
+	// Frame is one clip frame.
+	Frame = synth.Frame
+	// RGB is a colour image.
+	RGB = imaging.RGB
+	// Binary is a bi-level image.
+	Binary = imaging.Binary
+	// ClassifierConfig tunes the DBN bank.
+	ClassifierConfig = dbn.Config
+	// GAConfig tunes the GA stick-model front end.
+	GAConfig = ga.Config
+)
+
+// ErrNoBackground is returned when frames are analysed before a
+// background is installed.
+var ErrNoBackground = extract.ErrNoBackground
+
+// FrontEnd selects how key points are derived from a silhouette.
+type FrontEnd int
+
+// Front-end choices.
+const (
+	// FrontEndThinning is the paper's pipeline: Z-S thinning → skeleton
+	// graph → key points.
+	FrontEndThinning FrontEnd = iota + 1
+	// FrontEndGA is the authors' previous system: genetic-algorithm
+	// stick-model fitting → key points. Far slower (the paper's reason
+	// for abandoning it); exposed for the end-to-end comparison of
+	// experiment EXT7.
+	FrontEndGA
+)
+
+// Options configures a System.
+type Options struct {
+	// Partitions is the number of feature-encoding areas (paper: 8).
+	Partitions int
+	// Rings is the number of radial feature bands (0 = paper default,
+	// radial features off); see keypoint.EncodeRadial.
+	Rings int
+	// PruneLen is the noisy-branch threshold in skeleton vertices
+	// (paper: 10).
+	PruneLen int
+	// Thinning selects the skeletonisation algorithm (paper: Z-S).
+	Thinning thinning.Algorithm
+	// Extractor options forwarded to the Section 2 extractor.
+	Extractor []extract.Option
+	// Classifier tunes the DBN bank; zero value means DefaultConfig
+	// with Partitions synchronised.
+	Classifier *dbn.Config
+	// UseGroundTruthSilhouettes skips the Section 2 extractor and feeds
+	// the clip's noise-free silhouettes into thinning — an ablation to
+	// separate extraction errors from skeleton/DBN errors.
+	UseGroundTruthSilhouettes bool
+	// FrontEnd selects thinning (paper) or the GA stick-model fitter
+	// (previous work).
+	FrontEnd FrontEnd
+	// UseROITracking extracts each frame only inside the tracker's
+	// predicted region of interest — a large speed-up on big frames at
+	// identical output (the ROI margin covers the moving-average window
+	// and inter-frame motion).
+	UseROITracking bool
+	// AutoOrient detects the jump direction from the silhouette drift
+	// and mirrors right-to-left clips so the classifier always sees a
+	// left-to-right jump. The paper fixes the camera "from the left-hand
+	// side of the jumper"; this option removes that constraint.
+	AutoOrient bool
+	// GA tunes the GA front end; zero fields take package ga defaults.
+	GA ga.Config
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithPartitions sets the feature-encoding area count.
+func WithPartitions(n int) Option { return func(o *Options) { o.Partitions = n } }
+
+// WithRings enables the radial-feature extension with n distance bands.
+func WithRings(n int) Option { return func(o *Options) { o.Rings = n } }
+
+// WithPruneLen sets the noisy-branch pruning threshold.
+func WithPruneLen(n int) Option { return func(o *Options) { o.PruneLen = n } }
+
+// WithThinning selects the thinning algorithm.
+func WithThinning(a thinning.Algorithm) Option { return func(o *Options) { o.Thinning = a } }
+
+// WithExtractorOptions forwards options to the object extractor.
+func WithExtractorOptions(opts ...extract.Option) Option {
+	return func(o *Options) { o.Extractor = append(o.Extractor, opts...) }
+}
+
+// WithClassifierConfig replaces the DBN configuration.
+func WithClassifierConfig(cfg dbn.Config) Option {
+	return func(o *Options) { o.Classifier = &cfg }
+}
+
+// WithGroundTruthSilhouettes toggles the extraction-bypass ablation.
+func WithGroundTruthSilhouettes(v bool) Option {
+	return func(o *Options) { o.UseGroundTruthSilhouettes = v }
+}
+
+// WithFrontEnd selects the skeleton front end (thinning or GA).
+func WithFrontEnd(fe FrontEnd) Option { return func(o *Options) { o.FrontEnd = fe } }
+
+// WithAutoOrient toggles automatic jump-direction normalisation.
+func WithAutoOrient(v bool) Option { return func(o *Options) { o.AutoOrient = v } }
+
+// WithROITracking toggles tracker-guided region-of-interest extraction.
+func WithROITracking(v bool) Option { return func(o *Options) { o.UseROITracking = v } }
+
+// WithGAConfig tunes the GA front end.
+func WithGAConfig(cfg ga.Config) Option { return func(o *Options) { o.GA = cfg } }
+
+// FrameAnalysis is everything the vision front end derives from a frame.
+type FrameAnalysis struct {
+	// Silhouette is the extracted (or ground-truth) figure mask.
+	Silhouette *imaging.Binary
+	// Skeleton is the cleaned skeleton rasterised back to an image.
+	Skeleton *imaging.Binary
+	// Graph is the pruned skeleton graph.
+	Graph *skelgraph.Graph
+	// KeyPoints are the located body key points; valid only when
+	// KeyPointsOK.
+	KeyPoints keypoint.KeyPoints
+	// KeyPointsOK reports whether key-point extraction succeeded.
+	KeyPointsOK bool
+	// Encoding is the feature vector (all-zero areas when key points
+	// failed, which the classifier treats as an unrecognisable frame).
+	Encoding keypoint.Encoding
+}
+
+// System is the full paper pipeline: extraction → skeleton → key points →
+// DBN classification → scoring.
+type System struct {
+	opts       Options
+	extractor  *extract.Extractor
+	classifier *dbn.Classifier
+}
+
+// NewSystem builds a system with the paper's defaults, modified by opts.
+func NewSystem(opts ...Option) (*System, error) {
+	o := Options{
+		Partitions: keypoint.DefaultPartitions,
+		PruneLen:   skelgraph.DefaultPruneLen,
+		Thinning:   thinning.ZhangSuen,
+		FrontEnd:   FrontEndThinning,
+	}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	ex, err := extract.NewExtractor(o.Extractor...)
+	if err != nil {
+		return nil, fmt.Errorf("slj: %w", err)
+	}
+	cfg := dbn.DefaultConfig()
+	if o.Classifier != nil {
+		cfg = *o.Classifier
+	}
+	cfg.Partitions = o.Partitions
+	cfg.Rings = o.Rings
+	clf, err := dbn.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("slj: %w", err)
+	}
+	return &System{opts: o, extractor: ex, classifier: clf}, nil
+}
+
+// Classifier exposes the underlying DBN bank (read-only use).
+func (s *System) Classifier() *dbn.Classifier { return s.classifier }
+
+// SetBackground installs the clean backdrop frame for extraction.
+func (s *System) SetBackground(bg *imaging.RGB) { s.extractor.SetBackground(bg) }
+
+// AnalyzeSilhouette runs the configured skeleton front end (Section 3 +
+// feature encoding, or the GA stick-model fit) on an already-extracted
+// silhouette.
+func (s *System) AnalyzeSilhouette(sil *imaging.Binary) FrameAnalysis {
+	fa := FrameAnalysis{
+		Silhouette: sil,
+		Encoding:   keypoint.Encoding{Partitions: s.opts.Partitions, Rings: s.opts.Rings},
+	}
+	if s.opts.FrontEnd == FrontEndGA {
+		return s.analyzeGA(fa, sil)
+	}
+	skel := thinning.Thin(sil, s.opts.Thinning)
+	g, err := skelgraph.Build(skel)
+	if err != nil {
+		fa.Skeleton = skel
+		return fa
+	}
+	g.Prune(s.opts.PruneLen)
+	fa.Graph = g
+	fa.Skeleton = g.ToBinary()
+	kp, err := keypoint.FromGraph(g)
+	if err != nil {
+		return fa
+	}
+	enc, err := keypoint.EncodeRadial(kp, s.opts.Partitions, s.opts.Rings)
+	if err != nil {
+		return fa
+	}
+	fa.KeyPoints = kp
+	fa.KeyPointsOK = true
+	fa.Encoding = enc
+	return fa
+}
+
+// analyzeGA fits the stick model to the silhouette and derives key
+// points from it (the previous-work pipeline).
+func (s *System) analyzeGA(fa FrameAnalysis, sil *imaging.Binary) FrameAnalysis {
+	fit, err := ga.Fit(sil, s.opts.GA)
+	if err != nil {
+		fa.Skeleton = imaging.NewBinary(sil.W, sil.H)
+		return fa
+	}
+	kp := fit.KeyPoints(pose.DefaultProportions())
+	enc, err := keypoint.EncodeRadial(kp, s.opts.Partitions, s.opts.Rings)
+	if err != nil {
+		fa.Skeleton = imaging.NewBinary(sil.W, sil.H)
+		return fa
+	}
+	// Rasterise the fitted stick model as the "skeleton" product.
+	skel := imaging.NewBinary(sil.W, sil.H)
+	sk := fit.Best.Skeleton(pose.DefaultProportions())
+	for _, seg := range [][2]imaging.Pointf{
+		{sk.Hip, sk.Shoulder}, {sk.Shoulder, sk.Head}, {sk.Shoulder, sk.Elbow},
+		{sk.Elbow, sk.Hand}, {sk.Hip, sk.Knee}, {sk.Knee, sk.Ankle}, {sk.Ankle, sk.Toe},
+	} {
+		imaging.DrawLine(skel, seg[0].Round(), seg[1].Round())
+	}
+	fa.Skeleton = skel
+	fa.KeyPoints = kp
+	fa.KeyPointsOK = true
+	fa.Encoding = enc
+	return fa
+}
+
+// AnalyzeFrame extracts the silhouette from an RGB frame (requires
+// SetBackground first) and runs the skeleton front end on it.
+func (s *System) AnalyzeFrame(frame *imaging.RGB) (FrameAnalysis, error) {
+	sil, err := s.extractor.Extract(frame)
+	if err != nil {
+		return FrameAnalysis{}, fmt.Errorf("slj: %w", err)
+	}
+	return s.AnalyzeSilhouette(sil), nil
+}
+
+// analyzeClip runs the front end over every frame of a clip, honouring
+// the ground-truth-silhouette ablation and, when AutoOrient is on, the
+// jump-direction normalisation.
+func (s *System) analyzeClip(lc dataset.LabeledClip) ([]FrameAnalysis, error) {
+	sils, err := s.clipSilhouettes(lc)
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.AutoOrient && jumpGoesLeft(sils) {
+		for i, sil := range sils {
+			sils[i] = sil.FlipH()
+		}
+	}
+	out := make([]FrameAnalysis, 0, len(sils))
+	for _, sil := range sils {
+		out = append(out, s.AnalyzeSilhouette(sil))
+	}
+	return out, nil
+}
+
+// clipSilhouettes extracts (or fetches) the per-frame silhouettes.
+func (s *System) clipSilhouettes(lc dataset.LabeledClip) ([]*imaging.Binary, error) {
+	if !s.opts.UseGroundTruthSilhouettes {
+		if lc.Clip.Background == nil {
+			return nil, fmt.Errorf("slj: clip %s has no background frame: %w", lc.Name, ErrNoBackground)
+		}
+		s.SetBackground(lc.Clip.Background)
+	}
+	// roiMargin pads the tracker window: it must absorb the moving-average
+	// window, inter-frame motion AND single-frame bounding-box growth
+	// (a crouch extending to full height adds ~35 px at one end).
+	const roiMargin = 48
+	var tr *track.Tracker
+	if s.opts.UseROITracking {
+		tr = track.DefaultTracker()
+	}
+	out := make([]*imaging.Binary, 0, len(lc.Clip.Frames))
+	for i, fr := range lc.Clip.Frames {
+		if s.opts.UseGroundTruthSilhouettes {
+			if fr.Silhouette == nil {
+				return nil, fmt.Errorf("slj: clip %s frame %d has no ground-truth silhouette", lc.Name, i)
+			}
+			out = append(out, fr.Silhouette)
+			continue
+		}
+		var sil *imaging.Binary
+		var err error
+		if tr != nil {
+			if roi, roiErr := tr.ROI(roiMargin, fr.Image.W, fr.Image.H); roiErr == nil {
+				sil, err = s.extractor.ExtractInROI(fr.Image, roi)
+			} else {
+				sil, err = s.extractor.Extract(fr.Image) // first frame: full scan
+			}
+			if err == nil {
+				tr.Step(sil)
+			}
+		} else {
+			sil, err = s.extractor.Extract(fr.Image)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("slj: clip %s frame %d: %w", lc.Name, i, err)
+		}
+		out = append(out, sil)
+	}
+	return out, nil
+}
+
+// jumpGoesLeft reports whether the silhouette centroid drifts toward -X
+// over the clip (a right-to-left jump).
+func jumpGoesLeft(sils []*imaging.Binary) bool {
+	first, last := -1.0, -1.0
+	for _, sil := range sils {
+		b := sil.ForegroundBounds()
+		if b.Empty() {
+			continue
+		}
+		cx := float64(b.Min.X+b.Max.X) / 2
+		if first < 0 {
+			first = cx
+		}
+		last = cx
+	}
+	return first >= 0 && last < first
+}
+
+// TrainClip feeds one labelled clip through the front end and into the
+// DBN bank (the paper's training phase).
+func (s *System) TrainClip(lc dataset.LabeledClip) error {
+	fas, err := s.analyzeClip(lc)
+	if err != nil {
+		return err
+	}
+	frames := make([]dbn.LabeledFrame, len(fas))
+	for i, fa := range fas {
+		frames[i] = dbn.LabeledFrame{Label: lc.Clip.Frames[i].Label, Enc: fa.Encoding}
+	}
+	if err := s.classifier.TrainSequence(frames); err != nil {
+		return fmt.Errorf("slj: training on %s: %w", lc.Name, err)
+	}
+	return nil
+}
+
+// Train trains on every clip.
+func (s *System) Train(clips []dataset.LabeledClip) error {
+	if len(clips) == 0 {
+		return errors.New("slj: no training clips")
+	}
+	for _, lc := range clips {
+		if err := s.TrainClip(lc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClassifyClip decodes one clip into per-frame results.
+func (s *System) ClassifyClip(lc dataset.LabeledClip) ([]dbn.Result, error) {
+	fas, err := s.analyzeClip(lc)
+	if err != nil {
+		return nil, err
+	}
+	encs := make([]keypoint.Encoding, len(fas))
+	for i, fa := range fas {
+		encs[i] = fa.Encoding
+	}
+	res, err := s.classifier.ClassifySequence(encs)
+	if err != nil {
+		return nil, fmt.Errorf("slj: classifying %s: %w", lc.Name, err)
+	}
+	return res, nil
+}
+
+// ClassifyClipViterbi decodes a clip jointly with the Viterbi extension
+// (see internal/dbn): the most probable pose sequence under the learned
+// pose-transition model, which never emits Unknown and repairs isolated
+// bad frames. This is the "refinement on the DBN" the paper's conclusion
+// anticipates; experiment EXT3 compares it against the paper's greedy
+// decoder.
+func (s *System) ClassifyClipViterbi(lc dataset.LabeledClip) ([]pose.Pose, error) {
+	fas, err := s.analyzeClip(lc)
+	if err != nil {
+		return nil, err
+	}
+	encs := make([]keypoint.Encoding, len(fas))
+	for i, fa := range fas {
+		encs[i] = fa.Encoding
+	}
+	seq, err := s.classifier.DecodeViterbi(encs)
+	if err != nil {
+		return nil, fmt.Errorf("slj: viterbi on %s: %w", lc.Name, err)
+	}
+	return seq, nil
+}
+
+// MeasureJump tracks the jumper through the clip and measures the jump
+// distance (pixels and body heights) between the take-off and landing
+// foot positions. The flight window is derived from the tracked foot
+// height (classifier-independent), so no training is required.
+func (s *System) MeasureJump(lc dataset.LabeledClip) (track.JumpMeasurement, error) {
+	if !s.opts.UseGroundTruthSilhouettes {
+		if lc.Clip.Background == nil {
+			return track.JumpMeasurement{}, fmt.Errorf("slj: clip %s has no background frame: %w", lc.Name, ErrNoBackground)
+		}
+		s.SetBackground(lc.Clip.Background)
+	}
+	tr := track.DefaultTracker()
+	for i, fr := range lc.Clip.Frames {
+		var sil *imaging.Binary
+		if s.opts.UseGroundTruthSilhouettes {
+			sil = fr.Silhouette
+		} else {
+			var err error
+			if sil, err = s.extractor.Extract(fr.Image); err != nil {
+				return track.JumpMeasurement{}, fmt.Errorf("slj: frame %d: %w", i, err)
+			}
+		}
+		tr.Step(sil)
+	}
+	m, err := tr.MeasureJump(tr.AirborneFlags(track.DefaultAirborneMargin))
+	if err != nil {
+		return track.JumpMeasurement{}, fmt.Errorf("slj: %w", err)
+	}
+	return m, nil
+}
+
+// Poses extracts the decided pose sequence from classification results.
+func Poses(results []dbn.Result) []pose.Pose {
+	out := make([]pose.Pose, len(results))
+	for i, r := range results {
+		out[i] = r.Pose
+	}
+	return out
+}
+
+// Evaluate classifies every test clip and scores it against ground truth,
+// reproducing the paper's Section 5 table.
+func (s *System) Evaluate(clips []dataset.LabeledClip) (stats.Summary, *stats.Confusion, error) {
+	var sum stats.Summary
+	var conf stats.Confusion
+	for _, lc := range clips {
+		results, err := s.ClassifyClip(lc)
+		if err != nil {
+			return stats.Summary{}, nil, err
+		}
+		pred := Poses(results)
+		truth := lc.Clip.Labels()
+		cr, err := stats.EvaluateClip(lc.Name, truth, pred)
+		if err != nil {
+			return stats.Summary{}, nil, fmt.Errorf("slj: %w", err)
+		}
+		sum.Add(cr)
+		for i := range truth {
+			conf.Add(truth[i], pred[i])
+		}
+	}
+	return sum, &conf, nil
+}
+
+// Coach classifies a clip and produces the coaching report — the system's
+// end-user purpose ("advices to the jumper can be given").
+func (s *System) Coach(lc dataset.LabeledClip) (scoring.Report, []pose.Pose, error) {
+	results, err := s.ClassifyClip(lc)
+	if err != nil {
+		return scoring.Report{}, nil, err
+	}
+	seq := Poses(results)
+	return scoring.Evaluate(seq), seq, nil
+}
+
+// SaveModel serialises the trained classifier bank.
+func (s *System) SaveModel(w io.Writer) error { return s.classifier.Save(w) }
+
+// LoadModel replaces the classifier with one previously saved by
+// SaveModel, synchronising the front end's partition count to the model.
+func (s *System) LoadModel(r io.Reader) error {
+	clf, err := dbn.Load(r)
+	if err != nil {
+		return fmt.Errorf("slj: %w", err)
+	}
+	s.classifier = clf
+	s.opts.Partitions = clf.Config().Partitions
+	s.opts.Rings = clf.Config().Rings
+	return nil
+}
+
+// GenerateDataset builds the paper-shaped synthetic corpus (12 train and
+// 3 test clips by default).
+func GenerateDataset(opts dataset.GenOptions) (*dataset.Dataset, error) {
+	return dataset.Generate(opts)
+}
+
+// DefaultClassifierConfig returns the paper-default DBN configuration,
+// for callers that want to tweak a field before WithClassifierConfig.
+func DefaultClassifierConfig() dbn.Config { return dbn.DefaultConfig() }
+
+// RenderAnalysis paints the analysis products over a copy of the frame:
+// the silhouette boundary in green, the skeleton in yellow, the key
+// points as red crosses and the waist as a blue cross. Intended for
+// visual inspection (sljcoach -dump) and debugging.
+func RenderAnalysis(frame *imaging.RGB, fa FrameAnalysis) *imaging.RGB {
+	out := frame.Clone()
+	if fa.Silhouette != nil {
+		boundary := imaging.NewBinary(fa.Silhouette.W, fa.Silhouette.H)
+		eroded := imaging.Erode(fa.Silhouette)
+		for i := range boundary.Pix {
+			if fa.Silhouette.Pix[i] == 1 && eroded.Pix[i] == 0 {
+				boundary.Pix[i] = 1
+			}
+		}
+		_ = imaging.PaintMask(out, boundary, 60, 220, 60)
+	}
+	if fa.Skeleton != nil && fa.Skeleton.W == out.W && fa.Skeleton.H == out.H {
+		_ = imaging.PaintMask(out, fa.Skeleton, 240, 220, 60)
+	}
+	cross := func(p imaging.Point, r, g, b uint8) {
+		for d := -2; d <= 2; d++ {
+			if out.In(p.X+d, p.Y) {
+				out.Set(p.X+d, p.Y, r, g, b)
+			}
+			if out.In(p.X, p.Y+d) {
+				out.Set(p.X, p.Y+d, r, g, b)
+			}
+		}
+	}
+	if fa.KeyPointsOK {
+		for _, pos := range fa.KeyPoints.Pos {
+			cross(pos, 230, 60, 60)
+		}
+		cross(fa.KeyPoints.Waist, 70, 90, 230)
+	}
+	return out
+}
+
+// GenerateClipFromSpec renders one clip from an explicit spec (exposed
+// for tests and tools that need mirrored, distractor-laden or otherwise
+// customised clips).
+func GenerateClipFromSpec(spec synth.Spec) (*synth.Clip, error) { return synth.Generate(spec) }
+
+// DefaultSpec returns the standard clip-generation spec for a seed.
+func DefaultSpec(seed int64) synth.Spec { return synth.DefaultSpec(seed) }
+
+// DatasetOptions returns the default generation options for a seed.
+func DatasetOptions(seed int64) dataset.GenOptions {
+	return dataset.DefaultGenOptions(seed)
+}

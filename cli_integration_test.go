@@ -1,0 +1,97 @@
+package slj_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIWorkflow exercises the real command-line tools end to end:
+// generate a dataset, train a model, evaluate it, coach a clip and export
+// a video — the workflow the README documents. It builds the binaries
+// with the local toolchain, so it is skipped under -short.
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI workflow test builds binaries; skipped in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	work := t.TempDir()
+	bin := func(name string) string { return filepath.Join(work, name) }
+
+	build := func(tool string) {
+		t.Helper()
+		cmd := exec.Command(goBin, "build", "-o", bin(tool), "./cmd/"+tool)
+		cmd.Dir = "."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+	run := func(tool string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin(tool), args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %s: %v\n%s", tool, strings.Join(args, " "), err, out)
+		}
+		return string(out)
+	}
+
+	for _, tool := range []string{"sljgen", "sljtrain", "sljeval", "sljcoach", "sljvideo"} {
+		build(tool)
+	}
+
+	data := filepath.Join(work, "data")
+	model := filepath.Join(work, "model.gob")
+
+	// Generate a small corpus.
+	out := run("sljgen", "-out", data, "-train", "3", "-test", "1", "-seed", "77")
+	if !strings.Contains(out, "wrote 3 training clips") {
+		t.Fatalf("sljgen output unexpected:\n%s", out)
+	}
+
+	// Train and persist.
+	out = run("sljtrain", "-data", data, "-out", model)
+	if !strings.Contains(out, "model written to") {
+		t.Fatalf("sljtrain output unexpected:\n%s", out)
+	}
+	if st, err := os.Stat(model); err != nil || st.Size() == 0 {
+		t.Fatalf("model file missing or empty: %v", err)
+	}
+
+	// Evaluate with the persisted model.
+	out = run("sljeval", "-data", data, "-model", model)
+	if !strings.Contains(out, "overall") || !strings.Contains(out, "%") {
+		t.Fatalf("sljeval output unexpected:\n%s", out)
+	}
+
+	// Coach one clip.
+	clip := filepath.Join(data, "test", "test-00")
+	out = run("sljcoach", "-clip", clip, "-model", model)
+	if !strings.Contains(out, "coaching report") {
+		t.Fatalf("sljcoach output unexpected:\n%s", out)
+	}
+	if !strings.Contains(out, "jump distance") {
+		t.Fatalf("sljcoach missing jump distance:\n%s", out)
+	}
+
+	// Export the clip as video.
+	y4m := filepath.Join(work, "clip.y4m")
+	out = run("sljvideo", "-clip", clip, "-out", y4m)
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("sljvideo output unexpected:\n%s", out)
+	}
+	head := make([]byte, 9)
+	f, err := os.Open(y4m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Read(head); err != nil || string(head) != "YUV4MPEG2" {
+		t.Fatalf("exported video missing YUV4MPEG2 signature: %q (%v)", head, err)
+	}
+}

@@ -1,0 +1,114 @@
+// Command sljcoach analyses one standing-long-jump clip and prints the
+// per-frame pose trace plus the coaching report — the use the paper's
+// introduction motivates ("a tutor for the student to do self-training").
+//
+// Usage:
+//
+//	sljcoach -clip data/test/test-00 [-model model.gob] [-train data/]
+//
+// Provide either a trained -model or a -train dataset to fit on the fly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	slj "repro"
+	"repro/internal/dataset"
+	"repro/internal/imaging"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sljcoach: ")
+
+	var (
+		clipDir = flag.String("clip", "", "clip directory written by sljgen (required)")
+		model   = flag.String("model", "", "trained model from sljtrain")
+		train   = flag.String("train", "", "dataset directory to train on when no model is given")
+		dump    = flag.String("dump", "", "directory for per-frame analysis overlays (PPM)")
+	)
+	flag.Parse()
+	if *clipDir == "" || (*model == "" && *train == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	lc, err := dataset.LoadClip(*clipDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := slj.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *model != "" {
+		f, err := os.Open(*model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = sys.LoadModel(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		ds, err := dataset.Load(*train)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Train(ds.Train); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *dump != "" {
+		if err := os.MkdirAll(*dump, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		sys.SetBackground(lc.Clip.Background)
+		for i, fr := range lc.Clip.Frames {
+			fa, err := sys.AnalyzeFrame(fr.Image)
+			if err != nil {
+				log.Fatal(err)
+			}
+			overlay := slj.RenderAnalysis(fr.Image, fa)
+			f, err := os.Create(filepath.Join(*dump, fmt.Sprintf("overlay-%03d.ppm", i)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := imaging.EncodePPM(f, overlay); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d overlays to %s\n", len(lc.Clip.Frames), *dump)
+	}
+
+	report, seq, err := sys.Coach(lc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clip %s: %d frames\n\nper-frame poses:\n", lc.Name, len(seq))
+	for i, p := range seq {
+		marker := ""
+		if i < len(lc.Clip.Frames) && lc.Clip.Frames[i].Label != p {
+			marker = fmt.Sprintf("   (truth: %v)", lc.Clip.Frames[i].Label)
+		}
+		fmt.Printf("  %3d  %-46v%s\n", i, p, marker)
+	}
+	fmt.Printf("\ncoaching report:\n%s", report.String())
+
+	if m, err := sys.MeasureJump(lc); err != nil {
+		fmt.Printf("\njump distance: not measurable (%v)\n", err)
+	} else {
+		fmt.Printf("\njump distance: %.0f px (%.2f body heights), take-off frame %d, landing frame %d\n",
+			m.DistancePx, m.BodyHeights, m.TakeoffFrame, m.LandingFrame)
+	}
+}

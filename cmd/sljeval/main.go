@@ -1,0 +1,94 @@
+// Command sljeval reproduces the paper's Section 5 evaluation: per-clip
+// pose-classification accuracy over the test split, with the confusion
+// summary.
+//
+// Usage:
+//
+//	sljeval -data data/ [-model model.gob]
+//
+// Without -model the classifier is trained in-process on the dataset's
+// training split first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	slj "repro"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sljeval: ")
+
+	var (
+		data    = flag.String("data", "", "dataset directory written by sljgen (required)")
+		model   = flag.String("model", "", "trained model from sljtrain (optional; trains in-process when empty)")
+		viterbi = flag.Bool("viterbi", false, "also report joint Viterbi decoding (the EXT3 extension)")
+	)
+	flag.Parse()
+	if *data == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ds, err := dataset.Load(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := slj.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *model != "" {
+		f, err := os.Open(*model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = sys.LoadModel(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if len(ds.Train) == 0 {
+			log.Fatal("no training clips in dataset and no -model given")
+		}
+		if err := sys.Train(ds.Train); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sum, conf, err := sys.Evaluate(ds.Test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Section 5 evaluation (paper band: 81%-87% per clip)")
+	fmt.Print(sum.Table())
+	fmt.Printf("unknown rate: %.1f%%\n", 100*conf.UnknownRate())
+	fmt.Println("top confusions:")
+	for _, c := range conf.TopConfusions(8) {
+		fmt.Printf("  %-46v -> %-46v %d\n", c.Truth, c.Predicted, c.Count)
+	}
+
+	if *viterbi {
+		var vsum stats.Summary
+		for _, lc := range ds.Test {
+			seq, err := sys.ClassifyClipViterbi(lc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cr, err := stats.EvaluateClip(lc.Name, lc.Clip.Labels(), seq)
+			if err != nil {
+				log.Fatal(err)
+			}
+			vsum.Add(cr)
+		}
+		fmt.Println("\nViterbi joint decoding (EXT3 extension):")
+		fmt.Print(vsum.Table())
+	}
+}

@@ -1,0 +1,53 @@
+// Command sljexp regenerates the paper's evaluation artifacts: Figures
+// 1-8, the Section 5 results, the GA baseline comparison and the
+// extension sweeps. See DESIGN.md for the experiment index.
+//
+// Usage:
+//
+//	sljexp -exp all            # run everything at full size
+//	sljexp -exp sec5           # one experiment
+//	sljexp -exp fig3 -quick    # reduced workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sljexp: ")
+
+	var (
+		exp       = flag.String("exp", "all", "experiment id or 'all' ("+strings.Join(experiments.Names(), ", ")+")")
+		seed      = flag.Int64("seed", 2008, "experiment seed")
+		quick     = flag.Bool("quick", false, "reduced workloads")
+		artifacts = flag.String("artifacts", "", "directory for figure image/dot artifacts (optional)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, ArtifactDir: *artifacts}
+	names := experiments.Names()
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	failed := false
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		res, err := experiments.Run(name, cfg)
+		if err != nil {
+			log.Printf("%s: %v", name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("================ %s ================\n%s\n", name, res)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,72 @@
+// Command sljtrain trains the DBN pose-classifier bank on a dataset
+// written by sljgen and saves the model.
+//
+// Usage:
+//
+//	sljtrain -data data/ -out model.gob [-partitions 8] [-gt-silhouettes]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	slj "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sljtrain: ")
+
+	var (
+		data       = flag.String("data", "", "dataset directory written by sljgen (required)")
+		out        = flag.String("out", "model.gob", "model output path")
+		partitions = flag.Int("partitions", 8, "feature-encoding areas")
+		gtSil      = flag.Bool("gt-silhouettes", false, "bypass extraction and use ground-truth silhouettes")
+	)
+	flag.Parse()
+	if *data == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ds, err := dataset.Load(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *gtSil {
+		for _, lc := range ds.Train {
+			for i, fr := range lc.Clip.Frames {
+				if fr.Silhouette == nil {
+					log.Fatalf("clip %s frame %d has no stored silhouette; regenerate with sljgen", lc.Name, i)
+				}
+			}
+		}
+	}
+	sys, err := slj.NewSystem(
+		slj.WithPartitions(*partitions),
+		slj.WithGroundTruthSilhouettes(*gtSil),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Train(ds.Train); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := sys.SaveModel(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	trainFrames, _ := ds.TotalFrames()
+	fmt.Printf("trained on %d clips (%d frames); model written to %s\n",
+		len(ds.Train), trainFrames, *out)
+}

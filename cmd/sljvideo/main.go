@@ -1,0 +1,72 @@
+// Command sljvideo converts clips between the dataset's per-frame Netpbm
+// layout and a single YUV4MPEG2 (.y4m) stream playable in standard video
+// tools (mpv, ffplay, VLC).
+//
+// Usage:
+//
+//	sljvideo -clip data/test/test-00 -out test00.y4m [-fps 25]   # export
+//	sljvideo -gen 42 -out jump.y4m                               # synthesise directly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/imaging"
+	"repro/internal/synth"
+	"repro/internal/video"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sljvideo: ")
+
+	var (
+		clipDir = flag.String("clip", "", "clip directory written by sljgen")
+		gen     = flag.Int64("gen", -1, "generate a fresh clip with this seed instead of loading one")
+		out     = flag.String("out", "", "output .y4m path (required)")
+		fps     = flag.Int("fps", 25, "frame rate")
+	)
+	flag.Parse()
+	if *out == "" || (*clipDir == "" && *gen < 0) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var frames []*imaging.RGB
+	switch {
+	case *gen >= 0:
+		clip, err := synth.Generate(synth.DefaultSpec(*gen))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, fr := range clip.Frames {
+			frames = append(frames, fr.Image)
+		}
+	default:
+		lc, err := dataset.LoadClip(*clipDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, fr := range lc.Clip.Frames {
+			frames = append(frames, fr.Image)
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := video.WriteClip(f, frames, *fps); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d frames (%dx%d @ %d fps) to %s\n",
+		len(frames), frames[0].W, frames[0].H, *fps, *out)
+}

@@ -1,0 +1,40 @@
+// Package slj reproduces "Pose Estimation for Evaluating Standing Long
+// Jumps via Dynamic Bayesian Networks" (Hsu, Yen, Chen, Ho — 28th IEEE
+// ICDCS Workshops, 2008) as a complete Go library.
+//
+// The paper's system analyses side-view video of a standing long jump in
+// three parts, all implemented here:
+//
+//  1. Object extraction (Section 2): background subtraction over a
+//     moving-average window with max-normalisation and thresholding,
+//     followed by median-filter smoothing (internal/extract).
+//  2. Pose estimation (Sections 3–4): Zhang–Suen thinning of the
+//     silhouette; conversion to a skeleton graph with adjacent-junction
+//     removal, maximum-spanning-tree loop cutting and one-at-a-time
+//     branch pruning (internal/thinning, internal/skelgraph); key-point
+//     extraction and eight-area feature encoding around the waist
+//     (internal/keypoint); and a bank of per-pose dynamic Bayesian
+//     networks over 22 poses and 4 jump stages (internal/bayes,
+//     internal/dbn, internal/pose).
+//  3. Scoring (Section 1/6): rules over the recognised pose sequence
+//     that flag deviations from the standing-long-jump standard and emit
+//     coaching advice (internal/scoring).
+//
+// Because the paper's studio clips are unavailable, internal/synth
+// generates the closest synthetic equivalent — an articulated 2-D body
+// choreographed through a full jump and rendered over a noisy dark
+// backdrop — and internal/ga reimplements the genetic-algorithm
+// stick-model fitter of the authors' previous work as the baseline.
+//
+// This package is the public face: System wires the whole chain together
+// (frame → silhouette → skeleton → key points → DBN → pose → report) and
+// is what the example programs and command-line tools consume.
+//
+// Quick start:
+//
+//	ds, _ := slj.GenerateDataset(slj.DatasetOptions(42))
+//	sys, _ := slj.NewSystem()
+//	_ = sys.Train(ds.Train)
+//	summary, _, _ := sys.Evaluate(ds.Test)
+//	fmt.Print(summary.Table())
+package slj

@@ -1,0 +1,59 @@
+package slj_test
+
+import (
+	"fmt"
+	"log"
+
+	slj "repro"
+	"repro/internal/dataset"
+	"repro/internal/pose"
+)
+
+// Example demonstrates the complete workflow: generate a corpus, train
+// the system, and grade a held-out jump.
+func Example() {
+	ds, err := slj.GenerateDataset(dataset.GenOptions{
+		TrainClips: 2, TestClips: 1, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := slj.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Train(ds.Train); err != nil {
+		log.Fatal(err)
+	}
+	results, err := sys.ClassifyClip(ds.Test[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classified %d frames\n", len(results))
+	// Output: classified 42 frames
+}
+
+// ExampleSystem_AnalyzeSilhouette shows the Section 3 front end on a
+// single synthetic silhouette.
+func ExampleSystem_AnalyzeSilhouette() {
+	sys, err := slj.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	clip, err := slj.GenerateClipFromSpec(slj.DefaultSpec(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fa := sys.AnalyzeSilhouette(clip.Frames[0].Silhouette)
+	fmt.Println("key points found:", fa.KeyPointsOK)
+	fmt.Println("areas:", fa.Encoding.Partitions)
+	// Output:
+	// key points found: true
+	// areas: 8
+}
+
+// ExamplePoses shows extracting the decided sequence from results.
+func ExamplePoses() {
+	fmt.Println(len(slj.Poses(nil)), pose.StandHandsAtSides)
+	// Output: 0 standing & hands overlap with body
+}

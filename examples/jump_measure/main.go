@@ -1,0 +1,72 @@
+// Jump measurement: the number a PE teacher actually records. Track the
+// jumper through a clip, measure the distance between the take-off and
+// landing foot positions, and decode the pose sequence jointly with the
+// Viterbi extension for a clean per-stage timeline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	slj "repro"
+	"repro/internal/dataset"
+	"repro/internal/pose"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds, err := slj.GenerateDataset(dataset.GenOptions{
+		TrainClips: 6,
+		TestClips:  2,
+		Seed:       99,
+		VaryBody:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := slj.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Train(ds.Train); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, lc := range ds.Test {
+		m, err := sys.MeasureJump(lc)
+		if err != nil {
+			log.Fatalf("%s: %v", lc.Name, err)
+		}
+		fmt.Printf("=== %s ===\n", lc.Name)
+		fmt.Printf("jump distance: %.0f px = %.2f body heights "+
+			"(take-off frame %d at x=%.0f, landing frame %d at x=%.0f)\n",
+			m.DistancePx, m.BodyHeights, m.TakeoffFrame, m.TakeoffX, m.LandingFrame, m.LandingX)
+
+		seq, err := sys.ClassifyClipViterbi(lc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Compress the decoded sequence into a stage timeline.
+		fmt.Print("stage timeline: ")
+		var lastStage pose.Stage
+		for i, p := range seq {
+			if s := pose.StageOf(p); s != lastStage {
+				if lastStage != 0 {
+					fmt.Print(" → ")
+				}
+				fmt.Printf("%v@%d", s, i)
+				lastStage = s
+			}
+		}
+		fmt.Println()
+
+		correct := 0
+		for i, p := range seq {
+			if p == lc.Clip.Frames[i].Label {
+				correct++
+			}
+		}
+		fmt.Printf("Viterbi pose accuracy: %d/%d frames\n\n", correct, len(seq))
+	}
+}

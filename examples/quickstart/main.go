@@ -1,0 +1,59 @@
+// Quickstart: generate a small synthetic corpus, train the full system
+// (extraction → thinning → skeleton graph → key points → DBN), evaluate
+// on held-out clips and print the Section 5-style accuracy table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	slj "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A reduced corpus so the example runs in seconds; sljexp -exp sec5
+	// runs the full 12/3 split.
+	ds, err := slj.GenerateDataset(dataset.GenOptions{
+		TrainClips: 6,
+		TestClips:  2,
+		Seed:       42,
+		VaryBody:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := ds.TotalFrames()
+	fmt.Printf("generated %d training frames, %d test frames\n", train, test)
+
+	sys, err := slj.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Train(ds.Train); err != nil {
+		log.Fatal(err)
+	}
+
+	summary, confusion, err := sys.Evaluate(ds.Test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-clip accuracy (paper band: 81%-87%):")
+	fmt.Print(summary.Table())
+	fmt.Printf("unknown rate: %.1f%%\n", 100*confusion.UnknownRate())
+
+	// Inspect one frame end to end.
+	lc := ds.Test[0]
+	sys.SetBackground(lc.Clip.Background)
+	fa, err := sys.AnalyzeFrame(lc.Clip.Frames[10].Image)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nframe 10 of %s: silhouette %d px, skeleton %d px, key points ok: %v\n",
+		lc.Name, fa.Silhouette.Count(), fa.Skeleton.Count(), fa.KeyPointsOK)
+	if fa.KeyPointsOK {
+		fmt.Printf("feature encoding (areas around the waist): %v\n", fa.Encoding.Area)
+	}
+}

@@ -1,0 +1,57 @@
+// Thinning pipeline: a visual walk through Section 3 — silhouette → raw
+// Zhang–Suen thinning → simplified graph (adjacent-junction removal, loop
+// cut, pruning) → key points, rendered as ASCII art for one pose.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/imaging"
+	"repro/internal/keypoint"
+	"repro/internal/pose"
+	"repro/internal/skelgraph"
+	"repro/internal/synth"
+	"repro/internal/thinning"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	p := pose.CrouchHandsBackward
+	s := pose.Compute(imaging.Pointf{X: 110, Y: 100}, 90, pose.Angles(p), pose.DefaultProportions())
+	sil := synth.RenderSilhouette(s, synth.DefaultShape(), 90, 220, 160)
+
+	fmt.Printf("pose: %v\n\n--- silhouette (Figure 1c analogue) ---\n%s\n",
+		p, imaging.ASCII(sil, 4))
+
+	raw := thinning.Thin(sil, thinning.ZhangSuen)
+	m := thinning.Measure(raw)
+	fmt.Printf("--- raw Z-S thinning (Figure 2): %d px, %d endpoints, %d junctions, %d loops ---\n%s\n",
+		m.Pixels, m.Endpoints, m.Junctions, m.Loops, imaging.ASCII(raw, 4))
+
+	g, err := skelgraph.Build(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	removed := g.Prune(skelgraph.DefaultPruneLen)
+	fmt.Printf("--- simplified graph (Figures 3-4): %v, %d noisy branches pruned ---\n%s\n",
+		g, removed, imaging.ASCII(g.ToBinary(), 4))
+
+	kp, err := keypoint.FromGraph(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc, err := keypoint.Encode(kp, keypoint.DefaultPartitions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- key points (Figure 6 encoding, waist at %v) ---\n", kp.Waist)
+	for _, part := range keypoint.Parts() {
+		if pos, ok := kp.Pos[part]; ok {
+			fmt.Printf("  %-6v at %-9v area %d\n", part, pos, enc.Area[int(part)-1])
+		} else {
+			fmt.Printf("  %-6v not found (area 0)\n", part)
+		}
+	}
+}

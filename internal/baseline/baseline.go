@@ -1,0 +1,146 @@
+// Package baseline provides a deliberately simple pose classifier — a
+// nearest-prototype lookup over the Figure 6 feature vectors — as a
+// control for the DBN. The paper's probabilistic machinery (per-pose
+// networks, previous-pose and stage parents, thresholds) is only
+// justified if it beats exactly this kind of table lookup; experiment
+// EXT10 makes the comparison.
+//
+// Training memorises every (feature-key → label) count. Classification
+// returns the majority label of the exact key when seen, otherwise the
+// label of the nearest stored key by per-part Hamming-like distance
+// (area mismatches count 1, with absent-vs-present counting 1 too).
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/keypoint"
+	"repro/internal/pose"
+)
+
+// ErrNotTrained reports classification before any Observe call.
+var ErrNotTrained = errors.New("baseline: no training observations")
+
+// Classifier is the nearest-prototype lookup. Not safe for concurrent
+// mutation; classification is read-only.
+type Classifier struct {
+	partitions int
+	// exact maps a feature key to per-pose counts.
+	exact map[string]map[pose.Pose]int
+	// prototypes stores one representative encoding per seen key, for
+	// the nearest-neighbour fallback.
+	prototypes map[string]keypoint.Encoding
+	trained    bool
+}
+
+// New builds an empty classifier for the given partition count.
+func New(partitions int) (*Classifier, error) {
+	if partitions < 4 || partitions%2 != 0 {
+		return nil, fmt.Errorf("baseline: partitions = %d, want even and >= 4", partitions)
+	}
+	return &Classifier{
+		partitions: partitions,
+		exact:      make(map[string]map[pose.Pose]int),
+		prototypes: make(map[string]keypoint.Encoding),
+	}, nil
+}
+
+// Observe adds one labelled frame.
+func (c *Classifier) Observe(label pose.Pose, enc keypoint.Encoding) error {
+	if !label.Valid() {
+		return fmt.Errorf("baseline: invalid label %v", label)
+	}
+	if enc.Partitions != c.partitions {
+		return fmt.Errorf("baseline: encoding has %d partitions, configured %d",
+			enc.Partitions, c.partitions)
+	}
+	k := enc.Key()
+	m, ok := c.exact[k]
+	if !ok {
+		m = make(map[pose.Pose]int)
+		c.exact[k] = m
+		c.prototypes[k] = enc
+	}
+	m[label]++
+	c.trained = true
+	return nil
+}
+
+// TrainSequence observes a labelled clip.
+func (c *Classifier) TrainSequence(labels []pose.Pose, encs []keypoint.Encoding) error {
+	if len(labels) != len(encs) {
+		return fmt.Errorf("baseline: %d labels for %d encodings", len(labels), len(encs))
+	}
+	for i := range labels {
+		if err := c.Observe(labels[i], encs[i]); err != nil {
+			return fmt.Errorf("baseline: frame %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// majority returns the most frequent label of a count map (ties broken
+// by lowest pose id, for determinism).
+func majority(m map[pose.Pose]int) pose.Pose {
+	best, bestN := pose.PoseUnknown, -1
+	for p := pose.Pose(1); int(p) <= pose.NumPoses; p++ {
+		if n := m[p]; n > bestN {
+			best, bestN = p, n
+		}
+	}
+	return best
+}
+
+// distance is the per-part mismatch count between two encodings.
+func distance(a, b keypoint.Encoding) int {
+	d := 0
+	for i := 0; i < keypoint.NumParts; i++ {
+		if a.Area[i] != b.Area[i] {
+			d++
+		}
+		if a.Rings > 0 || b.Rings > 0 {
+			if a.Ring[i] != b.Ring[i] {
+				d++
+			}
+		}
+	}
+	return d
+}
+
+// Classify returns the majority label of the nearest stored prototype.
+func (c *Classifier) Classify(enc keypoint.Encoding) (pose.Pose, error) {
+	if !c.trained {
+		return pose.PoseUnknown, ErrNotTrained
+	}
+	if m, ok := c.exact[enc.Key()]; ok {
+		return majority(m), nil
+	}
+	bestKey, bestD := "", 1<<30
+	for k, proto := range c.prototypes {
+		if d := distance(enc, proto); d < bestD || (d == bestD && k < bestKey) {
+			bestKey, bestD = k, d
+		}
+	}
+	if bestKey == "" {
+		return pose.PoseUnknown, ErrNotTrained
+	}
+	return majority(c.exact[bestKey]), nil
+}
+
+// ClassifySequence decodes a clip frame by frame (no temporal model —
+// that absence is the point of the baseline).
+func (c *Classifier) ClassifySequence(encs []keypoint.Encoding) ([]pose.Pose, error) {
+	out := make([]pose.Pose, len(encs))
+	for i, enc := range encs {
+		p, err := c.Classify(enc)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: frame %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// Keys returns the number of distinct feature keys memorised.
+func (c *Classifier) Keys() int { return len(c.exact) }

@@ -1,0 +1,183 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/imaging"
+	"repro/internal/keypoint"
+	"repro/internal/pose"
+)
+
+func enc(t *testing.T, p pose.Pose, jitterSeed int64) keypoint.Encoding {
+	t.Helper()
+	r := rand.New(rand.NewSource(jitterSeed))
+	a := pose.Angles(p)
+	j := func(v float64) float64 { return v + (r.Float64()*2-1)*0.05 }
+	aj := pose.JointAngles{
+		TorsoLean: j(a.TorsoLean), Neck: j(a.Neck), Shoulder: j(a.Shoulder),
+		Elbow: j(a.Elbow), Hip: j(a.Hip), Knee: j(a.Knee), Ankle: j(a.Ankle),
+	}
+	s := pose.Compute(imaging.Pointf{X: 100, Y: 100}, 100, aj, pose.DefaultProportions())
+	e, err := keypoint.Encode(keypoint.FromSkeleton2D(s), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(7); err == nil {
+		t.Error("odd partitions accepted")
+	}
+	if _, err := New(8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUntrained(t *testing.T) {
+	c, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Classify(keypoint.Encoding{Partitions: 8}); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("err = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	c, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Observe(pose.PoseUnknown, keypoint.Encoding{Partitions: 8}); err == nil {
+		t.Error("invalid label accepted")
+	}
+	if err := c.Observe(pose.AirTuck, keypoint.Encoding{Partitions: 16}); err == nil {
+		t.Error("partition mismatch accepted")
+	}
+	if err := c.TrainSequence([]pose.Pose{pose.AirTuck}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestExactLookup(t *testing.T) {
+	c, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := enc(t, pose.AirTuck, 1)
+	for i := 0; i < 3; i++ {
+		if err := c.Observe(pose.AirTuck, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A single conflicting observation should not flip the majority.
+	if err := c.Observe(pose.LandCrouch, e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Classify(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pose.AirTuck {
+		t.Errorf("majority = %v, want AirTuck", got)
+	}
+}
+
+func TestNearestFallback(t *testing.T) {
+	c, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuck := enc(t, pose.AirTuck, 2)
+	stand := enc(t, pose.StandHandsForward, 3)
+	if err := c.Observe(pose.AirTuck, tuck); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Observe(pose.StandHandsForward, stand); err != nil {
+		t.Fatal(err)
+	}
+	// A perturbed tuck encoding (change one part's area) must still map
+	// to AirTuck via the nearest prototype.
+	probe := tuck
+	probe.Area[0] = probe.Area[0]%8 + 1
+	got, err := c.Classify(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pose.AirTuck {
+		t.Errorf("nearest = %v, want AirTuck", got)
+	}
+}
+
+func TestGeneralisationAcrossJitter(t *testing.T) {
+	// Train on jittered encodings of every pose, classify fresh jitters:
+	// the baseline should get most right (its weakness is temporal
+	// ambiguity, not clean single frames).
+	c, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		for _, p := range pose.AllPoses() {
+			if err := c.Observe(p, enc(t, p, seed)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	correct, total := 0, 0
+	for seed := int64(100); seed < 104; seed++ {
+		for _, p := range pose.AllPoses() {
+			got, err := c.Classify(enc(t, p, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if got == p {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.5 {
+		t.Errorf("baseline accuracy on clean frames = %.2f, want >= 0.5", acc)
+	}
+	if c.Keys() == 0 {
+		t.Error("no keys memorised")
+	}
+}
+
+func TestClassifySequence(t *testing.T) {
+	c, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Observe(pose.AirTuck, enc(t, pose.AirTuck, 5)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.ClassifySequence([]keypoint.Encoding{
+		enc(t, pose.AirTuck, 6), enc(t, pose.AirTuck, 7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("decoded %d frames", len(out))
+	}
+}
+
+func TestTrainSequenceHappyPath(t *testing.T) {
+	c, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := []pose.Pose{pose.AirTuck, pose.LandCrouch}
+	encs := []keypoint.Encoding{enc(t, pose.AirTuck, 8), enc(t, pose.LandCrouch, 9)}
+	if err := c.TrainSequence(labels, encs); err != nil {
+		t.Fatal(err)
+	}
+	if c.Keys() != 2 {
+		t.Errorf("keys = %d, want 2", c.Keys())
+	}
+}

@@ -1,0 +1,163 @@
+package bayes
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Approximate inference engines. The pose networks are small enough for
+// exact inference, but the paper's conclusion asks for richer models
+// ("more partitions", "more information"), whose joint tables outgrow
+// exact methods; these samplers are the scaling path, and the test suite
+// cross-checks them against the exact engines on small networks.
+
+// sampleFrom draws a state from a distribution (which must sum to ~1).
+func sampleFrom(dist []float64, r *rand.Rand) int {
+	u := r.Float64()
+	acc := 0.0
+	for s, p := range dist {
+		acc += p
+		if u < acc {
+			return s
+		}
+	}
+	return len(dist) - 1
+}
+
+// PosteriorLW estimates P(query | evidence) by likelihood weighting with
+// n samples. Evidence variables are clamped and weighted by their CPT
+// probability; all other variables are sampled topologically (node order
+// is topological by construction).
+func (n *Network) PosteriorLW(query int, ev Evidence, samples int, r *rand.Rand) ([]float64, error) {
+	if query < 0 || query >= len(n.nodes) {
+		return nil, fmt.Errorf("%w: query %d", ErrBadNode, query)
+	}
+	if err := n.validateEvidence(ev); err != nil {
+		return nil, err
+	}
+	if samples < 1 {
+		return nil, fmt.Errorf("bayes: need >= 1 sample, got %d", samples)
+	}
+	if qs, observed := ev[query]; observed {
+		dist := make([]float64, n.nodes[query].States)
+		dist[qs] = 1
+		return dist, nil
+	}
+	dist := make([]float64, n.nodes[query].States)
+	assignment := make([]int, len(n.nodes))
+	total := 0.0
+	for k := 0; k < samples; k++ {
+		weight := 1.0
+		for i := range n.nodes {
+			row, err := n.parentConfig(i, assignment)
+			if err != nil {
+				return nil, err
+			}
+			if s, observed := ev[i]; observed {
+				assignment[i] = s
+				weight *= n.Prob(i, row, s)
+			} else {
+				assignment[i] = sampleFrom(n.CPTRow(i, row), r)
+			}
+		}
+		dist[assignment[query]] += weight
+		total += weight
+	}
+	if total == 0 {
+		for s := range dist {
+			dist[s] = 1 / float64(len(dist))
+		}
+		return dist, nil
+	}
+	for s := range dist {
+		dist[s] /= total
+	}
+	return dist, nil
+}
+
+// children[i] lists nodes that have i as a parent; computed on demand
+// for Gibbs sampling.
+func (n *Network) children() [][]int {
+	out := make([][]int, len(n.nodes))
+	for c := range n.nodes {
+		for _, p := range n.nodes[c].Parents {
+			out[p] = append(out[p], c)
+		}
+	}
+	return out
+}
+
+// PosteriorGibbs estimates P(query | evidence) with Gibbs sampling:
+// burnin sweeps are discarded, then samples sweeps are tallied. Each
+// sweep resamples every hidden variable from its full conditional
+// (proportional to its CPT row times its children's CPT entries — the
+// Markov blanket).
+func (n *Network) PosteriorGibbs(query int, ev Evidence, burnin, samples int, r *rand.Rand) ([]float64, error) {
+	if query < 0 || query >= len(n.nodes) {
+		return nil, fmt.Errorf("%w: query %d", ErrBadNode, query)
+	}
+	if err := n.validateEvidence(ev); err != nil {
+		return nil, err
+	}
+	if samples < 1 || burnin < 0 {
+		return nil, fmt.Errorf("bayes: bad sample counts burnin=%d samples=%d", burnin, samples)
+	}
+	if qs, observed := ev[query]; observed {
+		dist := make([]float64, n.nodes[query].States)
+		dist[qs] = 1
+		return dist, nil
+	}
+	children := n.children()
+
+	// Initialise: evidence clamped, hidden sampled from priors given
+	// current parents (topological order makes this consistent).
+	assignment := make([]int, len(n.nodes))
+	var hidden []int
+	for i := range n.nodes {
+		if s, observed := ev[i]; observed {
+			assignment[i] = s
+			continue
+		}
+		hidden = append(hidden, i)
+		row, _ := n.parentConfig(i, assignment)
+		assignment[i] = sampleFrom(n.CPTRow(i, row), r)
+	}
+
+	dist := make([]float64, n.nodes[query].States)
+	cond := make([]float64, 0, 8)
+	for sweep := 0; sweep < burnin+samples; sweep++ {
+		for _, i := range hidden {
+			states := n.nodes[i].States
+			cond = cond[:0]
+			total := 0.0
+			for s := 0; s < states; s++ {
+				assignment[i] = s
+				row, _ := n.parentConfig(i, assignment)
+				p := n.Prob(i, row, s)
+				for _, c := range children[i] {
+					crow, _ := n.parentConfig(c, assignment)
+					p *= n.Prob(c, crow, assignment[c])
+				}
+				cond = append(cond, p)
+				total += p
+			}
+			if total == 0 {
+				// Degenerate conditional; keep a uniform draw to stay
+				// ergodic.
+				assignment[i] = r.Intn(states)
+				continue
+			}
+			for s := range cond {
+				cond[s] /= total
+			}
+			assignment[i] = sampleFrom(cond, r)
+		}
+		if sweep >= burnin {
+			dist[assignment[query]]++
+		}
+	}
+	for s := range dist {
+		dist[s] /= float64(samples)
+	}
+	return dist, nil
+}

@@ -1,0 +1,166 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// maxAbsDiff returns the largest per-state difference of two
+// distributions.
+func maxAbsDiff(a, b []float64) float64 {
+	worst := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestLikelihoodWeightingMatchesExact(t *testing.T) {
+	n, ids := sprinkler(t)
+	r := rand.New(rand.NewSource(1))
+	exact, err := n.PosteriorVE(ids[0], Evidence{ids[2]: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := n.PosteriorLW(ids[0], Evidence{ids[2]: 1}, 60000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(exact, approx); d > 0.02 {
+		t.Errorf("LW off by %v: exact %v, approx %v", d, exact, approx)
+	}
+}
+
+func TestGibbsMatchesExact(t *testing.T) {
+	n, ids := sprinkler(t)
+	r := rand.New(rand.NewSource(2))
+	exact, err := n.PosteriorVE(ids[0], Evidence{ids[2]: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sprinkler network's near-deterministic CPTs make the Gibbs
+	// chain mix slowly (autocorrelation ~100 sweeps), so this needs many
+	// samples and a correspondingly loose tolerance.
+	approx, err := n.PosteriorGibbs(ids[0], Evidence{ids[2]: 1}, 5000, 250000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(exact, approx); d > 0.05 {
+		t.Errorf("Gibbs off by %v: exact %v, approx %v", d, exact, approx)
+	}
+}
+
+func TestApproxOnLearnedNetwork(t *testing.T) {
+	// A learned chain a -> b -> c with noisy relations: both samplers
+	// must approach the exact posterior of the root given the leaf.
+	rr := rand.New(rand.NewSource(3))
+	n := New()
+	n.SetLaplace(1)
+	a, _ := n.AddNode("a", 2)
+	b, _ := n.AddNode("b", 3, a)
+	c, _ := n.AddNode("c", 2, b)
+	for k := 0; k < 300; k++ {
+		av := rr.Intn(2)
+		bv := (av + rr.Intn(2)) % 3
+		cv := 0
+		if bv == 2 || rr.Float64() < 0.2 {
+			cv = 1
+		}
+		if err := n.Observe([]int{av, bv, cv}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ev := Evidence{c: 1}
+	exact, err := n.Posterior(a, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, err := n.PosteriorLW(a, ev, 50000, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gibbs, err := n.PosteriorGibbs(a, ev, 1000, 50000, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(exact, lw); d > 0.02 {
+		t.Errorf("LW off by %v", d)
+	}
+	if d := maxAbsDiff(exact, gibbs); d > 0.03 {
+		t.Errorf("Gibbs off by %v", d)
+	}
+}
+
+func TestApproxEvidenceOnQuery(t *testing.T) {
+	n, ids := sprinkler(t)
+	r := rand.New(rand.NewSource(6))
+	lw, err := n.PosteriorLW(ids[0], Evidence{ids[0]: 1}, 10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lw[1] != 1 {
+		t.Error("LW should be deterministic for observed query")
+	}
+	gibbs, err := n.PosteriorGibbs(ids[0], Evidence{ids[0]: 0}, 0, 10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gibbs[0] != 1 {
+		t.Error("Gibbs should be deterministic for observed query")
+	}
+}
+
+func TestApproxValidation(t *testing.T) {
+	n, ids := sprinkler(t)
+	r := rand.New(rand.NewSource(7))
+	if _, err := n.PosteriorLW(99, nil, 10, r); err == nil {
+		t.Error("bad query accepted by LW")
+	}
+	if _, err := n.PosteriorLW(ids[0], nil, 0, r); err == nil {
+		t.Error("zero samples accepted by LW")
+	}
+	if _, err := n.PosteriorGibbs(ids[0], nil, -1, 10, r); err == nil {
+		t.Error("negative burnin accepted by Gibbs")
+	}
+	if _, err := n.PosteriorGibbs(ids[0], Evidence{99: 0}, 0, 10, r); err == nil {
+		t.Error("bad evidence accepted by Gibbs")
+	}
+}
+
+func TestSampleFromCoversSupport(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	counts := make([]int, 3)
+	dist := []float64{0.2, 0.5, 0.3}
+	for i := 0; i < 30000; i++ {
+		counts[sampleFrom(dist, r)]++
+	}
+	for s, want := range dist {
+		got := float64(counts[s]) / 30000
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("state %d frequency %v, want %v", s, got, want)
+		}
+	}
+}
+
+func BenchmarkPosteriorLW(b *testing.B) {
+	n := New()
+	ids := make([]int, 8)
+	for i := range ids {
+		var parents []int
+		if i > 0 {
+			parents = []int{ids[i-1]}
+		}
+		ids[i], _ = n.AddNode("v", 3, parents...)
+	}
+	r := rand.New(rand.NewSource(1))
+	ev := Evidence{ids[7]: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.PosteriorLW(ids[0], ev, 1000, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

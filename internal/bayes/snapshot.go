@@ -1,0 +1,78 @@
+package bayes
+
+import "fmt"
+
+// NodeSnapshot is the serialisable state of one node.
+type NodeSnapshot struct {
+	Name    string
+	States  int
+	Parents []int
+	// Counts holds the learned observation weights
+	// ([parentConfig*States + state]).
+	Counts []float64
+	// Fixed holds explicitly set CPT rows (-1 sentinel for unset rows);
+	// nil when no row was ever fixed.
+	Fixed []float64
+}
+
+// Snapshot is the full serialisable state of a network, suitable for
+// encoding/gob or encoding/json.
+type Snapshot struct {
+	Laplace float64
+	Nodes   []NodeSnapshot
+}
+
+// Snapshot exports the network state.
+func (n *Network) Snapshot() Snapshot {
+	s := Snapshot{Laplace: n.laplace, Nodes: make([]NodeSnapshot, len(n.nodes))}
+	for i, nd := range n.nodes {
+		s.Nodes[i] = NodeSnapshot{
+			Name:    nd.Name,
+			States:  nd.States,
+			Parents: append([]int(nil), nd.Parents...),
+			Counts:  append([]float64(nil), nd.counts...),
+		}
+		if nd.fixed != nil {
+			s.Nodes[i].Fixed = append([]float64(nil), nd.fixed...)
+		}
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a network, validating structural integrity.
+func FromSnapshot(s Snapshot) (*Network, error) {
+	n := New()
+	n.SetLaplace(s.Laplace)
+	for i, ns := range s.Nodes {
+		id, err := n.AddNode(ns.Name, ns.States, ns.Parents...)
+		if err != nil {
+			return nil, fmt.Errorf("bayes: snapshot node %d: %w", i, err)
+		}
+		nd := &n.nodes[id]
+		if len(ns.Counts) != len(nd.counts) {
+			return nil, fmt.Errorf("bayes: snapshot node %d: %d counts, want %d",
+				i, len(ns.Counts), len(nd.counts))
+		}
+		copy(nd.counts, ns.Counts)
+		// Rebuild row totals.
+		for row := range nd.rowTotals {
+			total := 0.0
+			for st := 0; st < nd.States; st++ {
+				c := nd.counts[row*nd.States+st]
+				if c < 0 {
+					return nil, fmt.Errorf("bayes: snapshot node %d: negative count", i)
+				}
+				total += c
+			}
+			nd.rowTotals[row] = total
+		}
+		if ns.Fixed != nil {
+			if len(ns.Fixed) != len(nd.counts) {
+				return nil, fmt.Errorf("bayes: snapshot node %d: %d fixed entries, want %d",
+					i, len(ns.Fixed), len(nd.counts))
+			}
+			nd.fixed = append([]float64(nil), ns.Fixed...)
+		}
+	}
+	return n, nil
+}

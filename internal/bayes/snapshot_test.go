@@ -1,0 +1,65 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	n, ids := sprinkler(t)
+	// Add learned counts on top of the fixed CPTs.
+	if err := n.Observe([]int{1, 0, 1}, 3); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := FromSnapshot(n.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Posteriors must match exactly.
+	for q := 0; q < n.Len(); q++ {
+		a, err := n.PosteriorVE(q, Evidence{ids[2]: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.PosteriorVE(q, Evidence{ids[2]: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range a {
+			if math.Abs(a[s]-b[s]) > 1e-12 {
+				t.Fatalf("query %d state %d: %v != %v", q, s, a[s], b[s])
+			}
+		}
+	}
+	if restored.TotalObservations() != n.TotalObservations() {
+		t.Error("observation totals differ")
+	}
+}
+
+func TestFromSnapshotValidation(t *testing.T) {
+	n, _ := sprinkler(t)
+	good := n.Snapshot()
+
+	bad := good
+	bad.Nodes = append([]NodeSnapshot(nil), good.Nodes...)
+	bad.Nodes[0].Counts = []float64{1} // wrong length
+	if _, err := FromSnapshot(bad); err == nil {
+		t.Error("wrong-length counts accepted")
+	}
+
+	bad2 := good
+	bad2.Nodes = append([]NodeSnapshot(nil), good.Nodes...)
+	bad2.Nodes[0] = NodeSnapshot{Name: "x", States: 2, Parents: []int{9}, Counts: []float64{0, 0}}
+	if _, err := FromSnapshot(bad2); err == nil {
+		t.Error("dangling parent accepted")
+	}
+
+	bad3 := good
+	bad3.Nodes = append([]NodeSnapshot(nil), good.Nodes...)
+	counts := append([]float64(nil), good.Nodes[0].Counts...)
+	counts[0] = -1
+	bad3.Nodes[0].Counts = counts
+	if _, err := FromSnapshot(bad3); err == nil {
+		t.Error("negative count accepted")
+	}
+}

@@ -1,0 +1,211 @@
+package dataset
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pose"
+)
+
+// smallOpts keeps generation fast in tests.
+func smallOpts(seed int64) GenOptions {
+	return GenOptions{TrainClips: 3, TestClips: 2, Seed: seed, FaultEvery: 2, VaryBody: true}
+}
+
+func TestGenerateSplitSizes(t *testing.T) {
+	ds, err := Generate(smallOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Train) != 3 || len(ds.Test) != 2 {
+		t.Fatalf("split = %d/%d, want 3/2", len(ds.Train), len(ds.Test))
+	}
+	train, test := ds.TotalFrames()
+	if train == 0 || test == 0 {
+		t.Fatal("empty frame counts")
+	}
+	// Paper shape: roughly 43 frames per clip.
+	if perClip := train / 3; perClip < 30 || perClip > 60 {
+		t.Errorf("frames per clip = %d, want ~40", perClip)
+	}
+}
+
+func TestGenerateDefaultsMatchPaperShape(t *testing.T) {
+	opts := DefaultGenOptions(7)
+	if opts.TrainClips != 12 || opts.TestClips != 3 {
+		t.Fatalf("defaults = %d/%d, want 12/3 (the paper's split)", opts.TrainClips, opts.TestClips)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallOpts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallOpts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Train {
+		af, bf := a.Train[i].Clip.Frames, b.Train[i].Clip.Frames
+		if len(af) != len(bf) {
+			t.Fatal("clip lengths differ")
+		}
+		for k := range af {
+			if !af[k].Silhouette.Equal(bf[k].Silhouette) {
+				t.Fatalf("clip %d frame %d differs across identical generations", i, k)
+			}
+		}
+	}
+}
+
+func TestGenerateInjectsFaults(t *testing.T) {
+	ds, err := Generate(GenOptions{TrainClips: 4, TestClips: 1, Seed: 2, FaultEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultClips := 0
+	for _, lc := range ds.Train {
+		for _, f := range lc.Clip.Frames {
+			if f.Label.IsFault() {
+				faultClips++
+				break
+			}
+		}
+	}
+	if faultClips == 0 {
+		t.Error("FaultEvery=2 produced no fault clips among 4")
+	}
+	// Test clips stay standard.
+	for _, lc := range ds.Test {
+		for _, f := range lc.Clip.Frames {
+			if f.Label.IsFault() {
+				t.Error("test clip contains an injected fault")
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenOptions{TrainClips: 0, TestClips: 1}); err == nil {
+		t.Error("zero train clips accepted")
+	}
+	if _, err := Generate(GenOptions{TrainClips: 1, TestClips: 0}); err == nil {
+		t.Error("zero test clips accepted")
+	}
+}
+
+func TestSaveLoadClipRoundTrip(t *testing.T) {
+	ds, err := Generate(GenOptions{TrainClips: 1, TestClips: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "clip")
+	if err := SaveClip(dir, ds.Train[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadClip(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ds.Train[0]
+	if len(got.Clip.Frames) != len(want.Clip.Frames) {
+		t.Fatalf("frames = %d, want %d", len(got.Clip.Frames), len(want.Clip.Frames))
+	}
+	for i := range got.Clip.Frames {
+		g, w := got.Clip.Frames[i], want.Clip.Frames[i]
+		if g.Label != w.Label {
+			t.Fatalf("frame %d label = %v, want %v", i, g.Label, w.Label)
+		}
+		if !g.Silhouette.Equal(w.Silhouette) {
+			t.Fatalf("frame %d silhouette mismatch", i)
+		}
+		for k := range g.Image.Pix {
+			if g.Image.Pix[k] != w.Image.Pix[k] {
+				t.Fatalf("frame %d pixel mismatch", i)
+			}
+		}
+	}
+}
+
+func TestSaveLoadDataset(t *testing.T) {
+	ds, err := Generate(GenOptions{TrainClips: 2, TestClips: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	if err := Save(root, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Train) != 2 || len(got.Test) != 1 {
+		t.Fatalf("loaded split = %d/%d", len(got.Train), len(got.Test))
+	}
+}
+
+func TestLoadClipMissingDir(t *testing.T) {
+	_, err := LoadClip(filepath.Join(t.TempDir(), "nope"))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadClipCorruptLabels(t *testing.T) {
+	ds, err := Generate(GenOptions{TrainClips: 1, TestClips: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "clip")
+	if err := SaveClip(dir, ds.Train[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "labels.txt"), []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadClip(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadEmptyRoot(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "train"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(root, "test"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(root); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadedLabelsParse(t *testing.T) {
+	// Every pose name written must parse back (ParsePose round trip
+	// through the file format).
+	ds, err := Generate(GenOptions{TrainClips: 1, TestClips: 1, Seed: 6, FaultEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "clip")
+	if err := SaveClip(dir, ds.Train[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadClip(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range got.Clip.Frames {
+		if !f.Label.Valid() {
+			t.Fatalf("frame %d: invalid label after round trip", i)
+		}
+		if f.Stage != pose.StageOf(f.Label) {
+			t.Fatalf("frame %d: stage not reconstructed", i)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package dbn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/bayes"
+	"repro/internal/pose"
+)
+
+// modelFile is the on-disk representation of a trained classifier.
+type modelFile struct {
+	// Version guards the format.
+	Version int
+	Config  Config
+	Trained bool
+	// Networks maps pose (as int) to its network snapshot.
+	Networks map[int]bayes.Snapshot
+	// Transitions is the labelled pose-bigram count matrix for the
+	// Viterbi decoder.
+	Transitions [pose.NumPoses + 1][pose.NumPoses + 1]float64
+}
+
+const modelVersion = 1
+
+// Save serialises the trained bank with encoding/gob.
+func (c *Classifier) Save(w io.Writer) error {
+	mf := modelFile{
+		Version:     modelVersion,
+		Config:      c.cfg,
+		Trained:     c.trained,
+		Networks:    make(map[int]bayes.Snapshot, pose.NumPoses),
+		Transitions: c.transitions,
+	}
+	for _, p := range pose.AllPoses() {
+		mf.Networks[int(p)] = c.nets[p].Snapshot()
+	}
+	if err := gob.NewEncoder(w).Encode(mf); err != nil {
+		return fmt.Errorf("dbn: encoding model: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a classifier saved with Save.
+func Load(r io.Reader) (*Classifier, error) {
+	var mf modelFile
+	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("dbn: decoding model: %w", err)
+	}
+	if mf.Version != modelVersion {
+		return nil, fmt.Errorf("dbn: model version %d, want %d", mf.Version, modelVersion)
+	}
+	c, err := New(mf.Config)
+	if err != nil {
+		return nil, fmt.Errorf("dbn: model config: %w", err)
+	}
+	for _, p := range pose.AllPoses() {
+		snap, ok := mf.Networks[int(p)]
+		if !ok {
+			return nil, fmt.Errorf("dbn: model missing network for %v", p)
+		}
+		net, err := bayes.FromSnapshot(snap)
+		if err != nil {
+			return nil, fmt.Errorf("dbn: network for %v: %w", p, err)
+		}
+		// Structural check: the rebuilt network must match what New
+		// would construct.
+		if net.Len() != c.nets[p].Len() {
+			return nil, fmt.Errorf("dbn: network for %v has %d nodes, want %d",
+				p, net.Len(), c.nets[p].Len())
+		}
+		c.nets[p] = net
+	}
+	c.trained = mf.Trained
+	c.transitions = mf.Transitions
+	return c, nil
+}

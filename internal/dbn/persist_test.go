@@ -1,0 +1,84 @@
+package dbn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pose"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	c := trainedClassifier(t, cfg, 3, 71)
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Trained() {
+		t.Fatal("loaded classifier lost trained flag")
+	}
+	if loaded.Config().Partitions != cfg.Partitions {
+		t.Fatal("config not preserved")
+	}
+
+	// Classification must be bit-identical between original and loaded.
+	r := rand.New(rand.NewSource(5))
+	seq := canonicalSequence()
+	encs := make([]Score, 0) // placeholder to avoid unused imports
+	_ = encs
+	sessA := c.NewSession()
+	sessB := loaded.NewSession()
+	for _, p := range seq[:15] {
+		enc := encodePose(t, p, r, cfg.Partitions)
+		ra, err := sessA.Classify(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := sessB.Classify(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Pose != rb.Pose {
+			t.Fatalf("pose diverged after reload: %v vs %v", ra.Pose, rb.Pose)
+		}
+		if ra.Prob != rb.Prob {
+			t.Fatalf("probability diverged after reload: %v vs %v", ra.Prob, rb.Prob)
+		}
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("garbage model accepted")
+	}
+}
+
+func TestSaveUntrainedLoads(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Trained() {
+		t.Fatal("untrained model loaded as trained")
+	}
+	// Classification must still refuse.
+	s := loaded.NewSession()
+	r := rand.New(rand.NewSource(1))
+	if _, err := s.Classify(encodePose(t, pose.StandHandsForward, r, 8)); err == nil {
+		t.Fatal("untrained loaded classifier classified")
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/imaging"
+)
+
+// Artifact writers. Every saver is a no-op when cfg.ArtifactDir is empty
+// and returns an error only on actual I/O failure, so experiments degrade
+// gracefully when no artifact directory is configured.
+
+func artifactPath(cfg Config, name string) (string, error) {
+	if cfg.ArtifactDir == "" {
+		return "", nil
+	}
+	if err := os.MkdirAll(cfg.ArtifactDir, 0o755); err != nil {
+		return "", fmt.Errorf("experiments: artifact dir: %w", err)
+	}
+	return filepath.Join(cfg.ArtifactDir, name), nil
+}
+
+func saveRGB(cfg Config, name string, img *imaging.RGB) error {
+	path, err := artifactPath(cfg, name)
+	if err != nil || path == "" {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	defer f.Close()
+	if err := imaging.EncodePPM(f, img); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func saveBinary(cfg Config, name string, img *imaging.Binary) error {
+	path, err := artifactPath(cfg, name)
+	if err != nil || path == "" {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	defer f.Close()
+	if err := imaging.EncodePBM(f, img); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func saveText(cfg Config, name, content string) error {
+	path, err := artifactPath(cfg, name)
+	if err != nil || path == "" {
+		return err
+	}
+	return os.WriteFile(path, []byte(content), 0o644)
+}

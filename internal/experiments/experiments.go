@@ -1,0 +1,82 @@
+// Package experiments regenerates every evaluation artifact of the paper
+// — Figures 1 through 8 and the Section 5 quantitative results — plus the
+// ablations and extensions called out in DESIGN.md (GA baseline cost,
+// partition-count sweep, training-set-size sweep, previous-pose policy).
+//
+// Each experiment is a pure function of a Config: deterministic, seeded,
+// returning a result value whose String() prints the rows/series the
+// paper reports. The cmd/sljexp binary and the repository benchmarks are
+// thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config parameterises every experiment.
+type Config struct {
+	// Seed drives all data generation.
+	Seed int64
+	// Quick shrinks workloads for use inside benchmarks (fewer clips,
+	// fewer GA generations). Headline numbers should be produced with
+	// Quick=false.
+	Quick bool
+	// ArtifactDir, when non-empty, makes figure experiments write their
+	// image artifacts (PPM frames, PBM skeletons, Graphviz sources)
+	// under this directory so the paper's figures can be viewed
+	// directly.
+	ArtifactDir string
+}
+
+// DefaultConfig returns the standard experiment configuration.
+func DefaultConfig() Config { return Config{Seed: 2008} } // the paper's year
+
+// Runner executes one experiment.
+type Runner func(Config) (fmt.Stringer, error)
+
+// registry maps experiment ids (as used by cmd/sljexp -exp) to runners.
+var registry = map[string]Runner{
+	"fig1":  func(c Config) (fmt.Stringer, error) { return Fig1(c) },
+	"fig2":  func(c Config) (fmt.Stringer, error) { return Fig2(c) },
+	"fig3":  func(c Config) (fmt.Stringer, error) { return Fig3(c) },
+	"fig4":  func(c Config) (fmt.Stringer, error) { return Fig4(c) },
+	"fig5":  func(c Config) (fmt.Stringer, error) { return Fig5(c) },
+	"fig6":  func(c Config) (fmt.Stringer, error) { return Fig6(c) },
+	"fig7":  func(c Config) (fmt.Stringer, error) { return Fig7(c) },
+	"fig8":  func(c Config) (fmt.Stringer, error) { return Fig8(c) },
+	"sec5":  func(c Config) (fmt.Stringer, error) { return Sec5(c) },
+	"sec5b": func(c Config) (fmt.Stringer, error) { return Sec5b(c) },
+	"ga":    func(c Config) (fmt.Stringer, error) { return GABaseline(c) },
+	"ext1":  func(c Config) (fmt.Stringer, error) { return Ext1(c) },
+	"ext2":  func(c Config) (fmt.Stringer, error) { return Ext2(c) },
+	"ext3":  func(c Config) (fmt.Stringer, error) { return Ext3(c) },
+	"ext4":  func(c Config) (fmt.Stringer, error) { return Ext4(c) },
+	"ext5":  func(c Config) (fmt.Stringer, error) { return Ext5(c) },
+	"ext6":  func(c Config) (fmt.Stringer, error) { return Ext6(c) },
+	"ext7":  func(c Config) (fmt.Stringer, error) { return Ext7(c) },
+	"ext8":  func(c Config) (fmt.Stringer, error) { return Ext8(c) },
+	"ext9":  func(c Config) (fmt.Stringer, error) { return Ext9(c) },
+	"ext10": func(c Config) (fmt.Stringer, error) { return Ext10(c) },
+	"jump":  func(c Config) (fmt.Stringer, error) { return Jump(c) },
+	"cv":    func(c Config) (fmt.Stringer, error) { return CV(c) },
+}
+
+// Names lists the registered experiment ids, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the named experiment.
+func Run(name string, cfg Config) (fmt.Stringer, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(cfg)
+}

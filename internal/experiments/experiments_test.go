@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// quickCfg runs every experiment in its reduced form; the full-size runs
+// happen in cmd/sljexp and the repository benchmarks.
+func quickCfg() Config { return Config{Seed: 2008, Quick: true} }
+
+func TestNamesComplete(t *testing.T) {
+	want := []string{"cv", "ext1", "ext10", "ext2", "ext3", "ext4", "ext5",
+		"ext6", "ext7", "ext8", "ext9", "fig1", "fig2", "fig3", "fig4",
+		"fig5", "fig6", "fig7", "fig8", "ga", "jump", "sec5", "sec5b"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", quickCfg()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res, err := Run(name, quickCfg())
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if s := res.String(); len(strings.TrimSpace(s)) == 0 {
+				t.Fatalf("%s: empty report", name)
+			}
+		})
+	}
+}
+
+func TestFig1SmoothingImprovesQuality(t *testing.T) {
+	r, err := Fig1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanIoUSmooth < r.MeanIoURaw-0.02 {
+		t.Errorf("smoothing hurt IoU: raw %.3f -> smooth %.3f", r.MeanIoURaw, r.MeanIoUSmooth)
+	}
+	for _, f := range r.Frames {
+		if f.SmoothHoles > f.RawHoles {
+			t.Errorf("smoothing increased holes: %d -> %d", f.RawHoles, f.SmoothHoles)
+		}
+	}
+}
+
+func TestFig3ForestInvariant(t *testing.T) {
+	r, err := Fig3(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ForestViolations != 0 {
+		t.Errorf("forest violations = %d, want 0", r.ForestViolations)
+	}
+	if r.MeanLenMax < r.MeanLenMin {
+		t.Errorf("max spanning kept less skeleton (%.1f) than min (%.1f)", r.MeanLenMax, r.MeanLenMin)
+	}
+}
+
+func TestFig4PaperClaim(t *testing.T) {
+	r, err := Fig4(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.TrueBranchSurvivesOneAtATime {
+		t.Error("one-at-a-time pruning lost the true branch")
+	}
+	if r.TrueBranchSurvivesNaive {
+		t.Error("naive pruning kept the true branch; scenario not discriminating")
+	}
+}
+
+func TestFig7DynamicEdgeHelps(t *testing.T) {
+	r, err := Fig7(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes != 16 {
+		t.Errorf("network nodes = %d, want 16", r.Nodes)
+	}
+	if r.PosteriorAfterCrouch <= r.PosteriorCold {
+		t.Errorf("previous pose did not raise the posterior: %.4f vs %.4f",
+			r.PosteriorAfterCrouch, r.PosteriorCold)
+	}
+}
+
+func TestSec5QuickShape(t *testing.T) {
+	r, err := Sec5(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Summary.TotalFrames() == 0 {
+		t.Fatal("no frames evaluated")
+	}
+	if acc := r.Summary.OverallAccuracy(); acc < 0.5 {
+		t.Errorf("quick Sec5 accuracy = %.1f%%, want >= 50%%", 100*acc)
+	}
+}
+
+func TestGABaselineCostClaim(t *testing.T) {
+	r, err := GABaseline(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SpeedupFactor < 2 {
+		t.Errorf("GA only %.1fx slower than thinning; paper claims it is very time-consuming", r.SpeedupFactor)
+	}
+	if r.GAFitness <= 0 {
+		t.Error("GA fitness is zero")
+	}
+}
+
+func TestExt2MoreDataHelps(t *testing.T) {
+	r, err := Ext2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Accuracy) < 2 {
+		t.Fatal("sweep too short")
+	}
+	// More data should not dramatically hurt (noise tolerance 10 pts).
+	first, last := r.Accuracy[0], r.Accuracy[len(r.Accuracy)-1]
+	if last < first-0.10 {
+		t.Errorf("accuracy fell with more data: %.2f -> %.2f", first, last)
+	}
+}
+
+func TestExt3ViterbiNotWorse(t *testing.T) {
+	r, err := Ext3(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joint decoding should not be dramatically worse than greedy (it is
+	// usually better); allow 10 points of noise on the quick corpus.
+	if r.ViterbiAccuracy < r.GreedyAccuracy-0.10 {
+		t.Errorf("Viterbi %.2f much worse than greedy %.2f", r.ViterbiAccuracy, r.GreedyAccuracy)
+	}
+}
+
+func TestExt4BothChannelsCompetitive(t *testing.T) {
+	r, err := Ext4(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Accuracy) != 3 {
+		t.Fatalf("variants = %d", len(r.Accuracy))
+	}
+	both := r.Accuracy[2]
+	for i, acc := range r.Accuracy[:2] {
+		if both < acc-0.15 {
+			t.Errorf("combined evidence (%.2f) much worse than %s (%.2f)", both, r.Channels[i], acc)
+		}
+	}
+}
+
+func TestJumpMeasurementShape(t *testing.T) {
+	r, err := Jump(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Clips) == 0 {
+		t.Fatal("no clips measured")
+	}
+	for i := range r.Clips {
+		if r.MeasuredPx[i] < r.TruthPx[i]*0.5 || r.MeasuredPx[i] > r.TruthPx[i]*1.6 {
+			t.Errorf("%s: measured %v px vs spec %v", r.Clips[i], r.MeasuredPx[i], r.TruthPx[i])
+		}
+	}
+}
+
+func TestExt5ZhangSuenCompetitive(t *testing.T) {
+	r, err := Ext5(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Algorithms) != 3 {
+		t.Fatalf("algorithms = %v", r.Algorithms)
+	}
+	// The paper's Z-S choice must be competitive with the alternatives
+	// (within 15 points on the quick corpus).
+	zs := r.Accuracy[0]
+	for i := 1; i < len(r.Accuracy); i++ {
+		if zs < r.Accuracy[i]-0.15 {
+			t.Errorf("Z-S (%.2f) much worse than %s (%.2f)", zs, r.Algorithms[i], r.Accuracy[i])
+		}
+	}
+}
+
+func TestExt6RingsNotHarmful(t *testing.T) {
+	r, err := Ext6(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Accuracy) < 2 {
+		t.Fatal("sweep too short")
+	}
+	// Extra information should not be dramatically harmful.
+	if r.Accuracy[1] < r.Accuracy[0]-0.15 {
+		t.Errorf("rings hurt badly: %.2f -> %.2f", r.Accuracy[0], r.Accuracy[1])
+	}
+}
+
+func TestExt8AutoOrientRecovers(t *testing.T) {
+	r, err := Ext8(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MirroredAuto <= r.MirroredRaw {
+		t.Errorf("auto-orient (%.2f) should beat raw mirrored decoding (%.2f)",
+			r.MirroredAuto, r.MirroredRaw)
+	}
+	if r.MirroredAuto < r.Standard-0.25 {
+		t.Errorf("auto-orient accuracy %.2f far below standard %.2f", r.MirroredAuto, r.Standard)
+	}
+}
+
+func TestExt9NoiseDegradesGracefully(t *testing.T) {
+	r, err := Ext9(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Accuracy) < 2 {
+		t.Fatal("sweep too short")
+	}
+	// 5% label noise must not collapse the system.
+	if r.Accuracy[1] < r.Accuracy[0]-0.25 {
+		t.Errorf("5%% noise collapsed accuracy: %.2f -> %.2f", r.Accuracy[0], r.Accuracy[1])
+	}
+}
+
+func TestExt10DBNBeatsOrMatchesLookup(t *testing.T) {
+	r, err := Ext10(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BaselineKeys == 0 {
+		t.Fatal("baseline memorised nothing")
+	}
+	// The DBN should not lose to the table lookup by a wide margin.
+	if r.DBNAccuracy < r.BaselineAccuracy-0.10 {
+		t.Errorf("DBN (%.2f) well below lookup baseline (%.2f)", r.DBNAccuracy, r.BaselineAccuracy)
+	}
+}
+
+func TestArtifactsWritten(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quickCfg()
+	cfg.ArtifactDir = dir
+	if _, err := Fig1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig5(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig7(cfg); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name()] = true
+	}
+	for _, want := range []string{"fig1a-input.ppm", "fig1b-raw.pbm", "fig1c-smoothed.pbm", "fig7-structure.dot"} {
+		if !names[want] {
+			t.Errorf("artifact %s missing (have %v)", want, names)
+		}
+	}
+	found := false
+	for n := range names {
+		if strings.HasPrefix(n, "fig5-skeleton-") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fig5 skeleton artifacts missing")
+	}
+}
+
+func TestCVShape(t *testing.T) {
+	r, err := CV(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.FoldAccuracies) != r.Folds {
+		t.Fatalf("folds = %d, accuracies = %d", r.Folds, len(r.FoldAccuracies))
+	}
+	if r.Mean <= 0 || r.Mean > 1 {
+		t.Errorf("mean = %v", r.Mean)
+	}
+	if r.Std < 0 {
+		t.Errorf("std = %v", r.Std)
+	}
+}

@@ -1,0 +1,413 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/extract"
+	"repro/internal/imaging"
+	"repro/internal/keypoint"
+	"repro/internal/pose"
+	"repro/internal/skelgraph"
+	"repro/internal/synth"
+	"repro/internal/thinning"
+)
+
+// ---------------------------------------------------------------------------
+// FIG1 — object extraction: input frame → raw silhouette → smoothed
+// silhouette (Figure 1 a/b/c). The quality claim is that the median
+// filter removes "small holes and ridged edges".
+
+// Fig1Result reports raw-versus-smoothed silhouette quality per sampled
+// frame.
+type Fig1Result struct {
+	Frames []extract.Stats
+	// IoU against the ground-truth mask, raw vs smoothed, averaged.
+	MeanIoURaw, MeanIoUSmooth float64
+}
+
+// Fig1 runs the Section 2 extractor over sampled frames of a synthetic
+// clip.
+func Fig1(cfg Config) (Fig1Result, error) {
+	clip, err := synth.Generate(synth.DefaultSpec(cfg.Seed))
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	ex, err := extract.NewExtractor(extract.WithKeepLargestOnly(false))
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	ex.SetBackground(clip.Background)
+	exSmooth, err := extract.NewExtractor()
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	exSmooth.SetBackground(clip.Background)
+
+	var res Fig1Result
+	idxs := []int{0, len(clip.Frames) / 3, 2 * len(clip.Frames) / 3, len(clip.Frames) - 1}
+	if cfg.Quick {
+		idxs = idxs[:1]
+	}
+	for k, i := range idxs {
+		fr := clip.Frames[i]
+		smooth, st, err := exSmooth.ExtractWithStats(fr.Image)
+		if err != nil {
+			return Fig1Result{}, err
+		}
+		raw, err := ex.ExtractRaw(fr.Image)
+		if err != nil {
+			return Fig1Result{}, err
+		}
+		res.Frames = append(res.Frames, st)
+		res.MeanIoURaw += iouBinary(raw, fr.Silhouette)
+		res.MeanIoUSmooth += iouBinary(smooth, fr.Silhouette)
+		if k == 0 { // one representative frame, like the paper's Figure 1
+			if err := saveRGB(cfg, "fig1a-input.ppm", fr.Image); err != nil {
+				return Fig1Result{}, err
+			}
+			if err := saveBinary(cfg, "fig1b-raw.pbm", raw); err != nil {
+				return Fig1Result{}, err
+			}
+			if err := saveBinary(cfg, "fig1c-smoothed.pbm", smooth); err != nil {
+				return Fig1Result{}, err
+			}
+		}
+	}
+	res.MeanIoURaw /= float64(len(idxs))
+	res.MeanIoUSmooth /= float64(len(idxs))
+	return res, nil
+}
+
+// String implements fmt.Stringer.
+func (r Fig1Result) String() string {
+	var b strings.Builder
+	b.WriteString("FIG1 object extraction (Section 2): raw vs median-smoothed silhouette\n")
+	fmt.Fprintf(&b, "%8s %10s %10s %10s %10s %10s\n", "rawPix", "smoothPix", "rawHoles", "smHoles", "rawComps", "smComps")
+	for _, s := range r.Frames {
+		fmt.Fprintf(&b, "%8d %10d %10d %10d %10d %10d\n",
+			s.RawPixels, s.SmoothPixels, s.RawHoles, s.SmoothHoles, s.RawComponents, s.SmoothComponents)
+	}
+	fmt.Fprintf(&b, "mean IoU vs ground truth: raw %.3f → smoothed %.3f\n", r.MeanIoURaw, r.MeanIoUSmooth)
+	return b.String()
+}
+
+func iouBinary(a, b *imaging.Binary) float64 {
+	inter, union := 0, 0
+	for i := range a.Pix {
+		x, y := a.Pix[i] != 0, b.Pix[i] != 0
+		if x && y {
+			inter++
+		}
+		if x || y {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// ---------------------------------------------------------------------------
+// FIG2 — thinning artefacts: loops, corners (2x2 blocks) and redundant
+// short branches on the raw thinning result (Figure 2), for both Z-S and
+// Guo–Hall.
+
+// Fig2Result aggregates artefact metrics over a clip.
+type Fig2Result struct {
+	Algorithms []string
+	// Mean per-frame metrics, parallel to Algorithms.
+	MeanLoops, MeanEndpoints, MeanJunctions, MeanWidthViolations []float64
+	// MeanComponents measures fragmentation (the medial-axis weakness
+	// that motivates the paper's thinning choice).
+	MeanComponents []float64
+	Frames         int
+}
+
+// Fig2 measures raw thinning artefacts over a clip's silhouettes.
+func Fig2(cfg Config) (Fig2Result, error) {
+	clip, err := synth.Generate(synth.DefaultSpec(cfg.Seed))
+	if err != nil {
+		return Fig2Result{}, err
+	}
+	frames := clip.Frames
+	if cfg.Quick {
+		frames = frames[:5]
+	}
+	res := Fig2Result{Frames: len(frames)}
+	for _, alg := range []thinning.Algorithm{thinning.ZhangSuen, thinning.GuoHall, thinning.MedialAxis} {
+		var loops, ends, juncs, wide, comps float64
+		for _, fr := range frames {
+			m := thinning.Measure(thinning.Thin(fr.Silhouette, alg))
+			loops += float64(m.Loops)
+			ends += float64(m.Endpoints)
+			juncs += float64(m.Junctions)
+			wide += float64(m.MaxWidthViolations)
+			comps += float64(m.Components)
+		}
+		n := float64(len(frames))
+		res.Algorithms = append(res.Algorithms, alg.String())
+		res.MeanLoops = append(res.MeanLoops, loops/n)
+		res.MeanEndpoints = append(res.MeanEndpoints, ends/n)
+		res.MeanJunctions = append(res.MeanJunctions, juncs/n)
+		res.MeanWidthViolations = append(res.MeanWidthViolations, wide/n)
+		res.MeanComponents = append(res.MeanComponents, comps/n)
+	}
+	return res, nil
+}
+
+// String implements fmt.Stringer.
+func (r Fig2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIG2 raw thinning artefacts over %d frames (loops/corners/spurs motivate Section 3 clean-up)\n", r.Frames)
+	fmt.Fprintf(&b, "%-12s %8s %10s %10s %12s %11s\n", "algorithm", "loops", "endpoints", "junctions", "2x2 blocks", "components")
+	for i, alg := range r.Algorithms {
+		fmt.Fprintf(&b, "%-12s %8.2f %10.2f %10.2f %12.2f %11.2f\n",
+			alg, r.MeanLoops[i], r.MeanEndpoints[i], r.MeanJunctions[i], r.MeanWidthViolations[i], r.MeanComponents[i])
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// FIG3 — loop cutting via maximum spanning tree (Figure 3), with the
+// minimum-spanning ablation the paper argues against.
+
+// Fig3Result compares loop cutting strategies.
+type Fig3Result struct {
+	// FramesWithLoops counts frames whose raw skeleton had >= 1 loop.
+	FramesWithLoops, Frames int
+	// All graphs must be forests afterwards.
+	ForestViolations int
+	// Mean kept skeleton length, max- vs min-spanning.
+	MeanLenMax, MeanLenMin float64
+	// AdjacentJunctionsRemoved counts removed vertices across frames.
+	AdjacentJunctionsRemoved int
+}
+
+// Fig3 builds skeleton graphs for every frame of a clip with both
+// spanning policies.
+func Fig3(cfg Config) (Fig3Result, error) {
+	// Use a pose set with self-touching limbs (hands near body) to
+	// provoke loops: the default clip plus a hands-on-body sequence.
+	spec := synth.DefaultSpec(cfg.Seed)
+	clip, err := synth.Generate(spec)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	frames := clip.Frames
+	if cfg.Quick {
+		frames = frames[:6]
+	}
+	res := Fig3Result{Frames: len(frames)}
+	for _, fr := range frames {
+		skel := thinning.Thin(fr.Silhouette, thinning.ZhangSuen)
+		if thinning.Measure(skel).Loops > 0 {
+			res.FramesWithLoops++
+		}
+		res.AdjacentJunctionsRemoved += len(skelgraph.AdjacentJunctionVertices(skel))
+		gMax, err := skelgraph.Build(skel, skelgraph.WithMaxSpanning(true))
+		if err != nil {
+			continue
+		}
+		gMin, err := skelgraph.Build(skel, skelgraph.WithMaxSpanning(false))
+		if err != nil {
+			continue
+		}
+		if !gMax.IsForest() || !gMin.IsForest() {
+			res.ForestViolations++
+		}
+		res.MeanLenMax += float64(gMax.TotalLength())
+		res.MeanLenMin += float64(gMin.TotalLength())
+	}
+	res.MeanLenMax /= float64(len(frames))
+	res.MeanLenMin /= float64(len(frames))
+	return res, nil
+}
+
+// String implements fmt.Stringer.
+func (r Fig3Result) String() string {
+	return fmt.Sprintf(`FIG3 loop cut by maximum spanning tree (Section 3)
+frames: %d, frames with raw-skeleton loops: %d
+adjacent junction vertices removed: %d
+forest violations after cut: %d (must be 0)
+mean kept skeleton length: max-spanning %.1f vs min-spanning %.1f (paper argues max)
+`, r.Frames, r.FramesWithLoops, r.AdjacentJunctionsRemoved, r.ForestViolations, r.MeanLenMax, r.MeanLenMin)
+}
+
+// ---------------------------------------------------------------------------
+// FIG4 — branch pruning, one at a time versus all at once (Figure 4).
+
+// Fig4Result compares the pruning policies on the canonical scenario and
+// across a clip.
+type Fig4Result struct {
+	// Canonical scenario (a noisy spur and a true short branch on one
+	// junction): does the true branch survive?
+	TrueBranchSurvivesOneAtATime bool
+	TrueBranchSurvivesNaive      bool
+	// Clip-level: mean retained skeleton length under both policies.
+	MeanLenOneAtATime, MeanLenNaive float64
+	Frames                          int
+}
+
+// Fig4 reproduces the Figure 4 comparison.
+func Fig4(cfg Config) (Fig4Result, error) {
+	var res Fig4Result
+
+	// Canonical scenario from the paper's figure: trunk + 4-px noisy
+	// spur + 8-px true branch at a degree-3 junction.
+	mk := func() *imaging.Binary {
+		img := imaging.NewBinary(40, 20)
+		for x := 0; x < 30; x++ {
+			img.Set(x, 10, 1)
+		}
+		for i := 1; i <= 3; i++ {
+			img.Set(29, 10-i, 1)
+		}
+		for i := 1; i <= 7; i++ {
+			img.Set(29+i, 10+i, 1)
+		}
+		return img
+	}
+	gGood, err := skelgraph.Build(mk())
+	if err != nil {
+		return res, err
+	}
+	gGood.Prune(skelgraph.DefaultPruneLen)
+	res.TrueBranchSurvivesOneAtATime = gGood.ToBinary().At(36, 17) == 1
+
+	gBad, err := skelgraph.Build(mk())
+	if err != nil {
+		return res, err
+	}
+	gBad.PruneNaive(skelgraph.DefaultPruneLen)
+	res.TrueBranchSurvivesNaive = gBad.ToBinary().At(36, 17) == 1
+
+	// Clip level.
+	spec := synth.DefaultSpec(cfg.Seed)
+	spec.HoleRate = 0.004 // more noise, more spurs
+	clip, err := synth.Generate(spec)
+	if err != nil {
+		return res, err
+	}
+	frames := clip.Frames
+	if cfg.Quick {
+		frames = frames[:6]
+	}
+	res.Frames = len(frames)
+	for _, fr := range frames {
+		skel := thinning.Thin(fr.Silhouette, thinning.ZhangSuen)
+		if g, err := skelgraph.Build(skel); err == nil {
+			g.Prune(skelgraph.DefaultPruneLen)
+			res.MeanLenOneAtATime += float64(g.TotalLength())
+		}
+		if g, err := skelgraph.Build(skel); err == nil {
+			g.PruneNaive(skelgraph.DefaultPruneLen)
+			res.MeanLenNaive += float64(g.TotalLength())
+		}
+	}
+	res.MeanLenOneAtATime /= float64(len(frames))
+	res.MeanLenNaive /= float64(len(frames))
+	return res, nil
+}
+
+// String implements fmt.Stringer.
+func (r Fig4Result) String() string {
+	return fmt.Sprintf(`FIG4 branch pruning: one-at-a-time (paper) vs delete-all-at-once
+canonical scenario: true branch survives one-at-a-time=%v, naive=%v (paper: true/false)
+clip (%d frames): mean retained skeleton length %.1f (one-at-a-time) vs %.1f (naive)
+`, r.TrueBranchSurvivesOneAtATime, r.TrueBranchSurvivesNaive, r.Frames, r.MeanLenOneAtATime, r.MeanLenNaive)
+}
+
+// ---------------------------------------------------------------------------
+// FIG5 — thinning-result gallery (Figure 5): skeletons represent postures.
+
+// Fig5Result is a gallery of ASCII skeletons plus key-point recall.
+type Fig5Result struct {
+	Poses []pose.Pose
+	// ASCII holds downsampled skeleton renderings, parallel to Poses.
+	ASCII []string
+	// KeyPointsOK reports whether the five key points were extracted.
+	KeyPointsOK []bool
+}
+
+// Fig5 renders skeletons for a representative pose set.
+func Fig5(cfg Config) (Fig5Result, error) {
+	poses := []pose.Pose{
+		pose.StandHandsForward, pose.CrouchHandsBackward, pose.TakeoffToeOff,
+		pose.AirTuck, pose.AirDescendLegsForward, pose.LandCrouch,
+	}
+	if cfg.Quick {
+		poses = poses[:2]
+	}
+	var res Fig5Result
+	for _, p := range poses {
+		s := pose.Compute(imaging.Pointf{X: 120, Y: 100}, 90, pose.Angles(p), pose.DefaultProportions())
+		sil := synth.RenderSilhouette(s, synth.DefaultShape(), 90, 240, 170)
+		skel := thinning.Thin(sil, thinning.ZhangSuen)
+		g, err := skelgraph.Build(skel)
+		if err != nil {
+			return Fig5Result{}, err
+		}
+		g.Prune(skelgraph.DefaultPruneLen)
+		_, kpErr := keypoint.FromGraph(g)
+		res.Poses = append(res.Poses, p)
+		res.ASCII = append(res.ASCII, imaging.ASCII(g.ToBinary(), 4))
+		res.KeyPointsOK = append(res.KeyPointsOK, kpErr == nil)
+		if err := saveBinary(cfg, fmt.Sprintf("fig5-skeleton-%02d.pbm", int(p)), g.ToBinary()); err != nil {
+			return Fig5Result{}, err
+		}
+	}
+	return res, nil
+}
+
+// String implements fmt.Stringer.
+func (r Fig5Result) String() string {
+	var b strings.Builder
+	b.WriteString("FIG5 thinning-result gallery (skeletons represent postures)\n")
+	for i, p := range r.Poses {
+		fmt.Fprintf(&b, "--- %v (key points ok: %v)\n%s", p, r.KeyPointsOK[i], r.ASCII[i])
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// FIG6 — feature encoding of key points into the eight areas (Figure 6).
+
+// Fig6Result tabulates part→area codes per pose.
+type Fig6Result struct {
+	Partitions int
+	Poses      []pose.Pose
+	Encodings  []keypoint.Encoding
+}
+
+// Fig6 encodes ground-truth key points for every pose.
+func Fig6(cfg Config) (Fig6Result, error) {
+	res := Fig6Result{Partitions: keypoint.DefaultPartitions}
+	poses := pose.AllPoses()
+	if cfg.Quick {
+		poses = poses[:6]
+	}
+	for _, p := range poses {
+		s := pose.Compute(imaging.Pointf{X: 120, Y: 100}, 90, pose.Angles(p), pose.DefaultProportions())
+		enc, err := keypoint.Encode(keypoint.FromSkeleton2D(s), res.Partitions)
+		if err != nil {
+			return Fig6Result{}, err
+		}
+		res.Poses = append(res.Poses, p)
+		res.Encodings = append(res.Encodings, enc)
+	}
+	return res, nil
+}
+
+// String implements fmt.Stringer.
+func (r Fig6Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIG6 key-point area encoding (%d areas around the waist)\n", r.Partitions)
+	fmt.Fprintf(&b, "%-46s %5s %6s %5s %5s %5s\n", "pose", "head", "chest", "hand", "knee", "foot")
+	for i, p := range r.Poses {
+		e := r.Encodings[i]
+		fmt.Fprintf(&b, "%-46s %5d %6d %5d %5d %5d\n", p, e.Area[0], e.Area[1], e.Area[2], e.Area[3], e.Area[4])
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	slj "repro"
+	"repro/internal/dataset"
+	"repro/internal/pose"
+	"repro/internal/synth"
+)
+
+// EXT8 — camera-side robustness. The paper fixes the camera "from the
+// left-hand side of the jumper"; real deployments cannot always. This
+// experiment tests mirrored (right-to-left) clips with and without the
+// automatic orientation normalisation.
+
+// Ext8Result compares mirrored-clip accuracy under both settings.
+type Ext8Result struct {
+	// Standard is the unmirrored baseline accuracy.
+	Standard float64
+	// MirroredRaw is mirrored-clip accuracy without auto-orientation.
+	MirroredRaw float64
+	// MirroredAuto is mirrored-clip accuracy with auto-orientation.
+	MirroredAuto float64
+}
+
+// Ext8 trains on standard clips and evaluates mirrored ones.
+func Ext8(cfg Config) (Ext8Result, error) {
+	ds, err := dataset.Generate(genOpts(cfg))
+	if err != nil {
+		return Ext8Result{}, err
+	}
+	// Mirror the test clips.
+	mirrored := make([]dataset.LabeledClip, 0, len(ds.Test))
+	for i, lc := range ds.Test {
+		spec := lc.Clip.Spec
+		spec.Mirror = true
+		clip, err := synth.Generate(spec)
+		if err != nil {
+			return Ext8Result{}, err
+		}
+		mirrored = append(mirrored, dataset.LabeledClip{
+			Name: fmt.Sprintf("mirrored-%02d", i), Clip: clip,
+		})
+	}
+
+	run := func(clips []dataset.LabeledClip, auto bool) (float64, error) {
+		sys, err := slj.NewSystem(slj.WithAutoOrient(auto))
+		if err != nil {
+			return 0, err
+		}
+		if err := sys.Train(ds.Train); err != nil {
+			return 0, err
+		}
+		sum, _, err := sys.Evaluate(clips)
+		if err != nil {
+			return 0, err
+		}
+		return sum.OverallAccuracy(), nil
+	}
+	var res Ext8Result
+	if res.Standard, err = run(ds.Test, false); err != nil {
+		return Ext8Result{}, err
+	}
+	if res.MirroredRaw, err = run(mirrored, false); err != nil {
+		return Ext8Result{}, err
+	}
+	if res.MirroredAuto, err = run(mirrored, true); err != nil {
+		return Ext8Result{}, err
+	}
+	return res, nil
+}
+
+// String implements fmt.Stringer.
+func (r Ext8Result) String() string {
+	return fmt.Sprintf(`EXT8 camera-side robustness (mirrored clips)
+standard clips:            %.1f%%
+mirrored, no orientation:  %.1f%% (features are backwards)
+mirrored, auto-orient:     %.1f%% (direction detected from centroid drift)
+`, 100*r.Standard, 100*r.MirroredRaw, 100*r.MirroredAuto)
+}
+
+// EXT9 — label-noise robustness. The paper's poses were labelled by
+// hand ("more training data with better definitions of poses are
+// needed"); this experiment corrupts a fraction of training labels with
+// stage-compatible wrong poses and measures the degradation.
+
+// Ext9Result is the label-noise sweep.
+type Ext9Result struct {
+	NoiseRate []float64
+	Accuracy  []float64
+}
+
+// Ext9 sweeps training label corruption.
+func Ext9(cfg Config) (Ext9Result, error) {
+	ds, err := dataset.Generate(genOpts(cfg))
+	if err != nil {
+		return Ext9Result{}, err
+	}
+	rates := []float64{0, 0.05, 0.1, 0.2, 0.4}
+	if cfg.Quick {
+		rates = rates[:2]
+	}
+	var res Ext9Result
+	for _, rate := range rates {
+		r := rand.New(rand.NewSource(cfg.Seed + int64(1000*rate)))
+		noisy := corruptLabels(ds.Train, rate, r)
+		sys, err := slj.NewSystem()
+		if err != nil {
+			return Ext9Result{}, err
+		}
+		if err := sys.Train(noisy); err != nil {
+			return Ext9Result{}, err
+		}
+		sum, _, err := sys.Evaluate(ds.Test)
+		if err != nil {
+			return Ext9Result{}, err
+		}
+		res.NoiseRate = append(res.NoiseRate, rate)
+		res.Accuracy = append(res.Accuracy, sum.OverallAccuracy())
+	}
+	return res, nil
+}
+
+// corruptLabels replaces each training label with probability rate by a
+// different pose from the same stage (the realistic labelling mistake).
+func corruptLabels(clips []dataset.LabeledClip, rate float64, r *rand.Rand) []dataset.LabeledClip {
+	out := make([]dataset.LabeledClip, len(clips))
+	for ci, lc := range clips {
+		clip := &synth.Clip{Background: lc.Clip.Background, Spec: lc.Clip.Spec}
+		clip.Frames = append([]synth.Frame(nil), lc.Clip.Frames...)
+		for fi := range clip.Frames {
+			if r.Float64() >= rate {
+				continue
+			}
+			stage := pose.StageOf(clip.Frames[fi].Label)
+			peers := pose.PosesInStage(stage)
+			repl := peers[r.Intn(len(peers))]
+			clip.Frames[fi].Label = repl
+		}
+		out[ci] = dataset.LabeledClip{Name: lc.Name, Clip: clip}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (r Ext9Result) String() string {
+	var b strings.Builder
+	b.WriteString("EXT9 training label noise (stage-compatible corruption)\n")
+	for i, rate := range r.NoiseRate {
+		fmt.Fprintf(&b, "  %4.0f%% noise: %.1f%%\n", 100*rate, 100*r.Accuracy[i])
+	}
+	return b.String()
+}

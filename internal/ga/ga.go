@@ -1,0 +1,338 @@
+// Package ga reimplements the baseline of the paper's previous work
+// (Hsu et al., ICDCSW 2006): fitting a predefined stick model to the
+// extracted silhouette with a genetic algorithm. The paper replaces it
+// with thinning because "the size of each stick needs to be given by the
+// user beforehand [and] the search process of the genetic algorithm is
+// very time-consuming"; this package exists so both halves of that claim
+// can be benchmarked (experiment GA-BASE).
+//
+// A chromosome is the full side-view body configuration: hip root
+// position, body height, and the seven joint angles of pose.JointAngles.
+// Fitness is the intersection-over-union between the rendered model
+// silhouette and the observed silhouette.
+package ga
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/imaging"
+	"repro/internal/keypoint"
+	"repro/internal/pose"
+	"repro/internal/synth"
+)
+
+// Default GA parameters, sized so a fit takes a few hundred thousand
+// pixel-overlap evaluations — amply demonstrating the paper's cost
+// argument while still converging on clean silhouettes.
+const (
+	DefaultPopulation  = 60
+	DefaultGenerations = 40
+	DefaultElite       = 4
+	DefaultTournament  = 3
+	DefaultCrossover   = 0.9
+	DefaultMutation    = 0.25
+)
+
+// Errors.
+var (
+	// ErrEmptyTarget reports a silhouette with no foreground to fit.
+	ErrEmptyTarget = errors.New("ga: empty target silhouette")
+	// ErrBadConfig reports invalid GA parameters.
+	ErrBadConfig = errors.New("ga: invalid config")
+)
+
+// Config tunes the search. Zero-valued fields take the package defaults.
+type Config struct {
+	// Population is the number of chromosomes per generation.
+	Population int
+	// Generations is the number of evolution steps.
+	Generations int
+	// Elite is how many best chromosomes survive unchanged.
+	Elite int
+	// Tournament is the selection tournament size.
+	Tournament int
+	// CrossoverRate is the probability of blending two parents.
+	CrossoverRate float64
+	// MutationRate is the per-gene mutation probability.
+	MutationRate float64
+	// Seed drives the random search.
+	Seed int64
+	// Shape and Proportions define the rendered stick model; the paper's
+	// complaint that "the size of each stick needs to be given by the
+	// user beforehand" is embodied here — the GA cannot work without
+	// them.
+	Shape       synth.Shape
+	Proportions pose.Proportions
+}
+
+func (c Config) withDefaults() Config {
+	if c.Population == 0 {
+		c.Population = DefaultPopulation
+	}
+	if c.Generations == 0 {
+		c.Generations = DefaultGenerations
+	}
+	if c.Elite == 0 {
+		c.Elite = DefaultElite
+	}
+	if c.Tournament == 0 {
+		c.Tournament = DefaultTournament
+	}
+	if c.CrossoverRate == 0 {
+		c.CrossoverRate = DefaultCrossover
+	}
+	if c.MutationRate == 0 {
+		c.MutationRate = DefaultMutation
+	}
+	if c.Shape == (synth.Shape{}) {
+		c.Shape = synth.DefaultShape()
+	}
+	if c.Proportions == (pose.Proportions{}) {
+		c.Proportions = pose.DefaultProportions()
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Population < 2 {
+		return fmt.Errorf("%w: population %d", ErrBadConfig, c.Population)
+	}
+	if c.Generations < 1 {
+		return fmt.Errorf("%w: generations %d", ErrBadConfig, c.Generations)
+	}
+	if c.Elite < 0 || c.Elite >= c.Population {
+		return fmt.Errorf("%w: elite %d of population %d", ErrBadConfig, c.Elite, c.Population)
+	}
+	if c.Tournament < 1 || c.Tournament > c.Population {
+		return fmt.Errorf("%w: tournament %d", ErrBadConfig, c.Tournament)
+	}
+	if c.CrossoverRate < 0 || c.CrossoverRate > 1 || c.MutationRate < 0 || c.MutationRate > 1 {
+		return fmt.Errorf("%w: rates out of [0,1]", ErrBadConfig)
+	}
+	return nil
+}
+
+// Chromosome is one candidate body configuration.
+type Chromosome struct {
+	// Root is the hip position.
+	Root imaging.Pointf
+	// Height is the body height in pixels.
+	Height float64
+	// Angles is the joint configuration.
+	Angles pose.JointAngles
+}
+
+// genes flattens the chromosome for crossover/mutation.
+func (c Chromosome) genes() [10]float64 {
+	return [10]float64{
+		c.Root.X, c.Root.Y, c.Height,
+		c.Angles.TorsoLean, c.Angles.Neck, c.Angles.Shoulder, c.Angles.Elbow,
+		c.Angles.Hip, c.Angles.Knee, c.Angles.Ankle,
+	}
+}
+
+func fromGenes(g [10]float64) Chromosome {
+	return Chromosome{
+		Root:   imaging.Pointf{X: g[0], Y: g[1]},
+		Height: g[2],
+		Angles: pose.JointAngles{
+			TorsoLean: g[3], Neck: g[4], Shoulder: g[5], Elbow: g[6],
+			Hip: g[7], Knee: g[8], Ankle: g[9],
+		},
+	}
+}
+
+// geneScale gives each gene's mutation step (pixels for position/height,
+// radians for angles).
+var geneScale = [10]float64{8, 8, 6, 0.25, 0.2, 0.5, 0.4, 0.4, 0.5, 0.4}
+
+// Skeleton returns the joint positions of the chromosome.
+func (c Chromosome) Skeleton(p pose.Proportions) pose.Skeleton2D {
+	return pose.Compute(c.Root, c.Height, c.Angles, p)
+}
+
+// Result reports a completed fit.
+type Result struct {
+	// Best is the fittest chromosome found.
+	Best Chromosome
+	// Fitness is its silhouette IoU in [0,1].
+	Fitness float64
+	// Evaluations counts fitness evaluations performed (the cost metric
+	// for the GA-vs-thinning comparison).
+	Evaluations int
+	// History records the best fitness per generation.
+	History []float64
+}
+
+// KeyPoints derives the five key points from the fitted stick model, so
+// the GA baseline plugs into the same feature encoding as the thinning
+// pipeline.
+func (r Result) KeyPoints(p pose.Proportions) keypoint.KeyPoints {
+	return keypoint.FromSkeleton2D(r.Best.Skeleton(p))
+}
+
+// Fit searches for the stick-model configuration that best explains the
+// target silhouette.
+func Fit(target *imaging.Binary, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	bounds := target.ForegroundBounds()
+	if bounds.Empty() {
+		return Result{}, ErrEmptyTarget
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// Initial population seeded around the silhouette geometry: root
+	// near the lower-middle of the bounding box, height near the box
+	// diagonal, angles sampled around the 22 canonical poses (a strong
+	// but fair prior — the original system also knew it was looking at
+	// long-jump poses).
+	cx := float64(bounds.Min.X+bounds.Max.X) / 2
+	cy := float64(bounds.Min.Y) + 0.55*float64(bounds.Dy())
+	hEst := float64(bounds.Dy()) * 1.15
+	all := pose.AllPoses()
+
+	pop := make([]Chromosome, cfg.Population)
+	for i := range pop {
+		base := pose.Angles(all[r.Intn(len(all))])
+		pop[i] = mutate(Chromosome{
+			Root:   imaging.Pointf{X: cx + r.NormFloat64()*6, Y: cy + r.NormFloat64()*6},
+			Height: hEst * (0.9 + r.Float64()*0.3),
+			Angles: base,
+		}, r, 1.0)
+	}
+
+	evals := 0
+	fitness := make([]float64, cfg.Population)
+	evaluate := func() {
+		for i := range pop {
+			fitness[i] = iou(target, pop[i], cfg)
+			evals++
+		}
+	}
+	evaluate()
+
+	res := Result{}
+	order := make([]int, cfg.Population)
+	for gen := 0; gen < cfg.Generations; gen++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return fitness[order[a]] > fitness[order[b]] })
+		best := order[0]
+		res.History = append(res.History, fitness[best])
+		if fitness[best] > res.Fitness {
+			res.Fitness = fitness[best]
+			res.Best = pop[best]
+		}
+
+		next := make([]Chromosome, 0, cfg.Population)
+		for e := 0; e < cfg.Elite; e++ {
+			next = append(next, pop[order[e]])
+		}
+		for len(next) < cfg.Population {
+			a := tournament(fitness, r, cfg.Tournament)
+			b := tournament(fitness, r, cfg.Tournament)
+			child := pop[a]
+			if r.Float64() < cfg.CrossoverRate {
+				child = crossover(pop[a], pop[b], r)
+			}
+			child = mutate(child, r, cfg.MutationRate)
+			next = append(next, child)
+		}
+		pop = next
+		evaluate()
+	}
+	// Final sweep.
+	for i := range pop {
+		if fitness[i] > res.Fitness {
+			res.Fitness = fitness[i]
+			res.Best = pop[i]
+		}
+	}
+	res.Evaluations = evals
+	return res, nil
+}
+
+// iou renders the chromosome and scores intersection-over-union against
+// the target.
+func iou(target *imaging.Binary, c Chromosome, cfg Config) float64 {
+	if c.Height < 15 || c.Height > 3*float64(target.H) {
+		return 0
+	}
+	model := synth.RenderSilhouette(c.Skeleton(cfg.Proportions), cfg.Shape, c.Height, target.W, target.H)
+	inter, union := 0, 0
+	for i := range model.Pix {
+		a, b := model.Pix[i] != 0, target.Pix[i] != 0
+		if a && b {
+			inter++
+		}
+		if a || b {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// tournament picks the fittest of k random indices.
+func tournament(fitness []float64, r *rand.Rand, k int) int {
+	best := r.Intn(len(fitness))
+	for i := 1; i < k; i++ {
+		c := r.Intn(len(fitness))
+		if fitness[c] > fitness[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// crossover blends two parents gene-wise with random convex weights.
+func crossover(a, b Chromosome, r *rand.Rand) Chromosome {
+	ga, gb := a.genes(), b.genes()
+	var out [10]float64
+	for i := range out {
+		w := r.Float64()
+		out[i] = w*ga[i] + (1-w)*gb[i]
+	}
+	return fromGenes(out)
+}
+
+// mutate applies Gaussian perturbation to each gene with the given
+// probability, scaled by geneScale.
+func mutate(c Chromosome, r *rand.Rand, rate float64) Chromosome {
+	g := c.genes()
+	for i := range g {
+		if r.Float64() < rate {
+			g[i] += r.NormFloat64() * geneScale[i]
+		}
+	}
+	out := fromGenes(g)
+	// Clamp angles into anatomically plausible ranges.
+	out.Angles.TorsoLean = clamp(out.Angles.TorsoLean, -math.Pi/2, math.Pi/2)
+	out.Angles.Neck = clamp(out.Angles.Neck, -0.6, 0.8)
+	out.Angles.Shoulder = clamp(out.Angles.Shoulder, -math.Pi*0.75, math.Pi)
+	out.Angles.Elbow = clamp(out.Angles.Elbow, -0.4, 2.4)
+	out.Angles.Hip = clamp(out.Angles.Hip, -1.0, 2.1)
+	out.Angles.Knee = clamp(out.Angles.Knee, -0.2, 2.4)
+	out.Angles.Ankle = clamp(out.Angles.Ankle, -1.5, 0.8)
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,154 @@
+package ga
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/imaging"
+	"repro/internal/keypoint"
+	"repro/internal/pose"
+	"repro/internal/synth"
+)
+
+// target renders a ground-truth silhouette for a pose.
+func target(p pose.Pose) (*imaging.Binary, pose.Skeleton2D) {
+	s := pose.Compute(imaging.Pointf{X: 120, Y: 100}, 90, pose.Angles(p), pose.DefaultProportions())
+	return synth.RenderSilhouette(s, synth.DefaultShape(), 90, 240, 180), s
+}
+
+func TestFitEmptyTarget(t *testing.T) {
+	_, err := Fit(imaging.NewBinary(32, 32), Config{Seed: 1})
+	if !errors.Is(err, ErrEmptyTarget) {
+		t.Fatalf("err = %v, want ErrEmptyTarget", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tgt, _ := target(pose.StandHandsForward)
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"elite >= population", Config{Population: 4, Elite: 4}},
+		{"tournament too big", Config{Population: 4, Tournament: 9}},
+		{"bad crossover", Config{CrossoverRate: 1.5}},
+		{"bad mutation", Config{MutationRate: -0.1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Fit(tgt, tt.cfg); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("err = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestFitConvergesOnStandingPose(t *testing.T) {
+	tgt, truth := target(pose.StandHandsForward)
+	res, err := Fit(tgt, Config{Seed: 5, Population: 50, Generations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fitness < 0.6 {
+		t.Fatalf("fitness = %.3f, want >= 0.6", res.Fitness)
+	}
+	// The fitted root should land near the true hip.
+	if d := res.Best.Root.Dist(truth.Hip); d > 20 {
+		t.Errorf("fitted root %v is %.1f px from true hip %v", res.Best.Root, d, truth.Hip)
+	}
+	// Height within 25%.
+	if math.Abs(res.Best.Height-90)/90 > 0.25 {
+		t.Errorf("fitted height = %.1f, want ≈ 90", res.Best.Height)
+	}
+}
+
+func TestFitDeterministicPerSeed(t *testing.T) {
+	tgt, _ := target(pose.CrouchHandsForward)
+	cfg := Config{Seed: 9, Population: 20, Generations: 8}
+	a, err := Fit(tgt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(tgt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fitness != b.Fitness || a.Best != b.Best {
+		t.Error("equal seeds produced different results")
+	}
+}
+
+func TestFitEvaluationCountAndHistory(t *testing.T) {
+	tgt, _ := target(pose.StandHandsAtSides)
+	cfg := Config{Seed: 2, Population: 10, Generations: 5}
+	res, err := Fit(tgt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * (5 + 1) // initial + per-generation evaluations
+	if res.Evaluations != want {
+		t.Errorf("evaluations = %d, want %d", res.Evaluations, want)
+	}
+	if len(res.History) != 5 {
+		t.Errorf("history = %d entries, want 5", len(res.History))
+	}
+	// Best-so-far fitness must be >= every history entry.
+	for gen, h := range res.History {
+		if h > res.Fitness+1e-12 {
+			t.Errorf("generation %d best %.4f exceeds final fitness %.4f", gen, h, res.Fitness)
+		}
+	}
+}
+
+func TestFitnessMonotoneUnderElitism(t *testing.T) {
+	tgt, _ := target(pose.AirTuck)
+	res, err := Fit(tgt, Config{Seed: 3, Population: 24, Generations: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] < res.History[i-1]-1e-12 {
+			t.Fatalf("best fitness regressed at generation %d: %.4f -> %.4f (elitism broken)",
+				i, res.History[i-1], res.History[i])
+		}
+	}
+}
+
+func TestKeyPointsFromFit(t *testing.T) {
+	tgt, truth := target(pose.StandHandsForward)
+	res, err := Fit(tgt, Config{Seed: 5, Population: 50, Generations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp := res.KeyPoints(pose.DefaultProportions())
+	if len(kp.Pos) != keypoint.NumParts {
+		t.Fatalf("key points = %d, want %d", len(kp.Pos), keypoint.NumParts)
+	}
+	// Head must be up, foot down, mirroring the true skeleton.
+	if kp.Pos[keypoint.PartHead].Y >= kp.Pos[keypoint.PartFoot].Y {
+		t.Error("fitted head below fitted foot")
+	}
+	trueHead := truth.Head.Round()
+	if d := float64(abs(kp.Pos[keypoint.PartHead].X-trueHead.X) + abs(kp.Pos[keypoint.PartHead].Y-trueHead.Y)); d > 40 {
+		t.Errorf("fitted head %v far from truth %v", kp.Pos[keypoint.PartHead], trueHead)
+	}
+}
+
+func TestChromosomeGenesRoundTrip(t *testing.T) {
+	c := Chromosome{
+		Root:   imaging.Pointf{X: 12, Y: 34},
+		Height: 88,
+		Angles: pose.JointAngles{TorsoLean: 0.1, Neck: 0.2, Shoulder: 0.3, Elbow: 0.4, Hip: 0.5, Knee: 0.6, Ankle: 0.7},
+	}
+	if got := fromGenes(c.genes()); got != c {
+		t.Fatalf("genes round trip: %+v != %+v", got, c)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

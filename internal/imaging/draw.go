@@ -1,0 +1,201 @@
+package imaging
+
+import "math"
+
+// Pointf is a floating-point 2-D coordinate used by the rasterisers and the
+// synthetic body model. Like Point, Y grows downward.
+type Pointf struct {
+	X, Y float64
+}
+
+// Add returns p translated by q.
+func (p Pointf) Add(q Pointf) Pointf { return Pointf{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p minus q.
+func (p Pointf) Sub(q Pointf) Pointf { return Pointf{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Pointf) Scale(s float64) Pointf { return Pointf{p.X * s, p.Y * s} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Pointf) Dist(q Pointf) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Round converts to the nearest integer Point.
+func (p Pointf) Round() Point {
+	return Point{int(math.Round(p.X)), int(math.Round(p.Y))}
+}
+
+// distToSegment returns the distance from point p to the segment a-b.
+func distToSegment(p, a, b Pointf) float64 {
+	ab := b.Sub(a)
+	l2 := ab.X*ab.X + ab.Y*ab.Y
+	if l2 == 0 {
+		return p.Dist(a)
+	}
+	t := ((p.X-a.X)*ab.X + (p.Y-a.Y)*ab.Y) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return p.Dist(Pointf{a.X + t*ab.X, a.Y + t*ab.Y})
+}
+
+// FillCapsule rasterises a thick line segment (a capsule: the set of pixels
+// within radius r of the segment a-b) into the binary image as foreground.
+// This is the primitive the synthetic renderer uses for limbs.
+func FillCapsule(dst *Binary, a, b Pointf, r float64) {
+	if r < 0 {
+		return
+	}
+	minX := int(math.Floor(math.Min(a.X, b.X) - r))
+	maxX := int(math.Ceil(math.Max(a.X, b.X) + r))
+	minY := int(math.Floor(math.Min(a.Y, b.Y) - r))
+	maxY := int(math.Ceil(math.Max(a.Y, b.Y) + r))
+	if minX < 0 {
+		minX = 0
+	}
+	if minY < 0 {
+		minY = 0
+	}
+	if maxX >= dst.W {
+		maxX = dst.W - 1
+	}
+	if maxY >= dst.H {
+		maxY = dst.H - 1
+	}
+	for y := minY; y <= maxY; y++ {
+		for x := minX; x <= maxX; x++ {
+			if distToSegment(Pointf{float64(x), float64(y)}, a, b) <= r {
+				dst.Pix[y*dst.W+x] = 1
+			}
+		}
+	}
+}
+
+// FillDisc rasterises a filled disc of radius r centred at c into the binary
+// image as foreground. Used for the head of the synthetic body model.
+func FillDisc(dst *Binary, c Pointf, r float64) {
+	FillCapsule(dst, c, c, r)
+}
+
+// DrawLine writes a 1-pixel-wide Bresenham line from a to b.
+func DrawLine(dst *Binary, a, b Point) {
+	dx := abs(b.X - a.X)
+	dy := -abs(b.Y - a.Y)
+	sx, sy := 1, 1
+	if a.X > b.X {
+		sx = -1
+	}
+	if a.Y > b.Y {
+		sy = -1
+	}
+	err := dx + dy
+	x, y := a.X, a.Y
+	for {
+		if x >= 0 && x < dst.W && y >= 0 && y < dst.H {
+			dst.Pix[y*dst.W+x] = 1
+		}
+		if x == b.X && y == b.Y {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// PaintMask colours every foreground pixel of mask with (r, g, b) in dst.
+// dst and mask must have identical dimensions.
+func PaintMask(dst *RGB, mask *Binary, r, g, b uint8) error {
+	if dst.W != mask.W || dst.H != mask.H {
+		return ErrDimensionMismatch
+	}
+	for i, v := range mask.Pix {
+		if v != 0 {
+			dst.Pix[3*i], dst.Pix[3*i+1], dst.Pix[3*i+2] = r, g, b
+		}
+	}
+	return nil
+}
+
+// ASCII renders the binary image as a string, one rune per pixel
+// ('#' foreground, '.' background), with rows separated by newlines.
+// It optionally downsamples by step (>= 1) so a 240×320 silhouette still
+// fits a terminal; a block is foreground if any pixel in it is.
+func ASCII(b *Binary, step int) string {
+	if step < 1 {
+		step = 1
+	}
+	var sb []byte
+	for y := 0; y < b.H; y += step {
+		for x := 0; x < b.W; x += step {
+			on := false
+			for dy := 0; dy < step && !on; dy++ {
+				for dx := 0; dx < step && !on; dx++ {
+					xx, yy := x+dx, y+dy
+					if xx < b.W && yy < b.H && b.Pix[yy*b.W+xx] != 0 {
+						on = true
+					}
+				}
+			}
+			if on {
+				sb = append(sb, '#')
+			} else {
+				sb = append(sb, '.')
+			}
+		}
+		sb = append(sb, '\n')
+	}
+	return string(sb)
+}
+
+// FromASCII parses the format produced by ASCII (with step 1): '#' (or any
+// non-'.' non-space rune) is foreground. Lines are right-padded to the
+// longest line. An empty input yields a 1×1 background image.
+func FromASCII(s string) *Binary {
+	var rows [][]byte
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			if i > start {
+				rows = append(rows, []byte(s[start:i]))
+			}
+			start = i + 1
+		}
+	}
+	if len(rows) == 0 {
+		return NewBinary(1, 1)
+	}
+	w := 0
+	for _, r := range rows {
+		if len(r) > w {
+			w = len(r)
+		}
+	}
+	out := NewBinary(w, len(rows))
+	for y, r := range rows {
+		for x, c := range r {
+			if c != '.' && c != ' ' {
+				out.Pix[y*w+x] = 1
+			}
+		}
+	}
+	return out
+}

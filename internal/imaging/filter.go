@@ -1,0 +1,186 @@
+package imaging
+
+import "sort"
+
+// MedianFilterBinary applies a k×k median filter to a binary image; k must be
+// odd and >= 1. For bi-level data the median reduces to majority voting, so
+// the filter fills pinholes and shaves ridged edges exactly as the paper uses
+// it on the extracted silhouette (Figure 1(c)). Pixels whose window leaves
+// the image are computed over the in-bounds part of the window.
+func MedianFilterBinary(src *Binary, k int) *Binary {
+	if k < 1 || k%2 == 0 {
+		panic("imaging.MedianFilterBinary: kernel size must be odd and positive")
+	}
+	out := NewBinary(src.W, src.H)
+	r := k / 2
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			ones, total := 0, 0
+			for dy := -r; dy <= r; dy++ {
+				yy := y + dy
+				if yy < 0 || yy >= src.H {
+					continue
+				}
+				row := src.Pix[yy*src.W:]
+				for dx := -r; dx <= r; dx++ {
+					xx := x + dx
+					if xx < 0 || xx >= src.W {
+						continue
+					}
+					total++
+					if row[xx] != 0 {
+						ones++
+					}
+				}
+			}
+			if 2*ones > total {
+				out.Pix[y*out.W+x] = 1
+			}
+		}
+	}
+	return out
+}
+
+// MedianFilterGray applies a k×k median filter to a grayscale image; k must
+// be odd. Border pixels use the in-bounds part of the window.
+func MedianFilterGray(src *Gray, k int) *Gray {
+	if k < 1 || k%2 == 0 {
+		panic("imaging.MedianFilterGray: kernel size must be odd and positive")
+	}
+	out := NewGray(src.W, src.H)
+	r := k / 2
+	window := make([]uint8, 0, k*k)
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			window = window[:0]
+			for dy := -r; dy <= r; dy++ {
+				yy := y + dy
+				if yy < 0 || yy >= src.H {
+					continue
+				}
+				row := src.Pix[yy*src.W:]
+				for dx := -r; dx <= r; dx++ {
+					xx := x + dx
+					if xx < 0 || xx >= src.W {
+						continue
+					}
+					window = append(window, row[xx])
+				}
+			}
+			sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+			out.Pix[y*out.W+x] = window[len(window)/2]
+		}
+	}
+	return out
+}
+
+// BoxAverageRGB computes, for every pixel and channel, the mean over an n×n
+// window centred on the pixel, exactly the moving-window average matrices
+// A_ave and B_ave of Section 2 (steps i–ii). n must be odd and positive.
+// Windows are clipped at the border and averaged over the in-bounds pixels.
+//
+// The implementation uses per-channel summed-area tables so the cost is
+// O(W·H) independent of n.
+func BoxAverageRGB(src *RGB, n int) *RGB {
+	if n < 1 || n%2 == 0 {
+		panic("imaging.BoxAverageRGB: window size must be odd and positive")
+	}
+	w, h := src.W, src.H
+	out := NewRGB(w, h)
+	// Summed-area table with a zero top row and left column: sat[(y+1)*(w+1)+x+1]
+	// is the sum over the rectangle [0..x]×[0..y].
+	sw := w + 1
+	sat := make([][]int64, 3)
+	for c := 0; c < 3; c++ {
+		sat[c] = make([]int64, sw*(h+1))
+	}
+	for y := 0; y < h; y++ {
+		var run [3]int64
+		for x := 0; x < w; x++ {
+			i := 3 * (y*w + x)
+			for c := 0; c < 3; c++ {
+				run[c] += int64(src.Pix[i+c])
+				sat[c][(y+1)*sw+x+1] = sat[c][y*sw+x+1] + run[c]
+			}
+		}
+	}
+	r := n / 2
+	for y := 0; y < h; y++ {
+		y0, y1 := y-r, y+r+1
+		if y0 < 0 {
+			y0 = 0
+		}
+		if y1 > h {
+			y1 = h
+		}
+		for x := 0; x < w; x++ {
+			x0, x1 := x-r, x+r+1
+			if x0 < 0 {
+				x0 = 0
+			}
+			if x1 > w {
+				x1 = w
+			}
+			area := int64((y1 - y0) * (x1 - x0))
+			o := 3 * (y*w + x)
+			for c := 0; c < 3; c++ {
+				s := sat[c][y1*sw+x1] - sat[c][y0*sw+x1] - sat[c][y1*sw+x0] + sat[c][y0*sw+x0]
+				out.Pix[o+c] = uint8((s + area/2) / area)
+			}
+		}
+	}
+	return out
+}
+
+// Dilate returns the binary dilation of src with a 3×3 square structuring
+// element: a pixel is foreground if any pixel in its 8-neighbourhood
+// (or itself) is foreground.
+func Dilate(src *Binary) *Binary {
+	out := NewBinary(src.W, src.H)
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			if src.Pix[y*src.W+x] != 0 {
+				out.Pix[y*out.W+x] = 1
+				continue
+			}
+			for _, d := range Neighbors8 {
+				xx, yy := x+d.X, y+d.Y
+				if xx >= 0 && xx < src.W && yy >= 0 && yy < src.H && src.Pix[yy*src.W+xx] != 0 {
+					out.Pix[y*out.W+x] = 1
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Erode returns the binary erosion of src with a 3×3 square structuring
+// element: a pixel stays foreground only if its whole 8-neighbourhood is
+// foreground. Pixels on the image border are eroded (treated as touching
+// background).
+func Erode(src *Binary) *Binary {
+	out := NewBinary(src.W, src.H)
+	for y := 0; y < src.H; y++ {
+	pixels:
+		for x := 0; x < src.W; x++ {
+			if src.Pix[y*src.W+x] == 0 {
+				continue
+			}
+			for _, d := range Neighbors8 {
+				xx, yy := x+d.X, y+d.Y
+				if xx < 0 || xx >= src.W || yy < 0 || yy >= src.H || src.Pix[yy*src.W+xx] == 0 {
+					continue pixels
+				}
+			}
+			out.Pix[y*out.W+x] = 1
+		}
+	}
+	return out
+}
+
+// Open performs erosion followed by dilation (removes small speckle).
+func Open(src *Binary) *Binary { return Dilate(Erode(src)) }
+
+// Close performs dilation followed by erosion (fills small holes).
+func Close(src *Binary) *Binary { return Erode(Dilate(src)) }

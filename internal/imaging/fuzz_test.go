@@ -1,0 +1,80 @@
+package imaging
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets guard the codecs against panics on malformed input; the
+// decoders must fail with an error, never crash. Seeds cover valid
+// streams, truncations and header corruption.
+
+func FuzzDecodePGM(f *testing.F) {
+	var buf bytes.Buffer
+	g := NewGray(3, 2)
+	if err := EncodePGM(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("P5\n3 2\n255\nab"))
+	f.Add([]byte("P5\n# comment\n1 1\n255\nx"))
+	f.Add([]byte("P6\n1 1\n255\nxyz"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := DecodePGM(bytes.NewReader(data))
+		if err == nil && (img.W <= 0 || img.H <= 0 || len(img.Pix) != img.W*img.H) {
+			t.Fatalf("decoder returned inconsistent image %dx%d with %d pixels", img.W, img.H, len(img.Pix))
+		}
+	})
+}
+
+func FuzzDecodePPM(f *testing.F) {
+	var buf bytes.Buffer
+	m := NewRGB(2, 2)
+	if err := EncodePPM(&buf, m); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("P6\n2 2\n255\n"))
+	f.Add([]byte("P6 9999999 9999999 255 "))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := DecodePPM(bytes.NewReader(data))
+		if err == nil && len(img.Pix) != 3*img.W*img.H {
+			t.Fatalf("decoder returned inconsistent image")
+		}
+	})
+}
+
+func FuzzDecodePBM(f *testing.F) {
+	var buf bytes.Buffer
+	b := NewBinary(9, 3)
+	b.Set(4, 1, 1)
+	if err := EncodePBM(&buf, b); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("P4\n8 1\nz"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := DecodePBM(bytes.NewReader(data))
+		if err == nil {
+			for _, v := range img.Pix {
+				if v > 1 {
+					t.Fatal("decoder produced non-binary pixel")
+				}
+			}
+		}
+	})
+}
+
+func FuzzFromASCII(f *testing.F) {
+	f.Add("##.\n.#.\n")
+	f.Add("")
+	f.Add("#")
+	f.Add("\n\n\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		img := FromASCII(s)
+		if img.W <= 0 || img.H <= 0 {
+			t.Fatal("FromASCII returned degenerate image")
+		}
+	})
+}

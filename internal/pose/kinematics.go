@@ -1,0 +1,191 @@
+package pose
+
+import (
+	"math"
+
+	"repro/internal/imaging"
+)
+
+// JointAngles parameterises the side-view body configuration. All angles
+// are radians. The model is planar (the camera is "taken from the
+// left-hand side of the jumper", so both arms collapse onto one Hand key
+// point, and both legs onto one Knee/Foot, exactly as the paper's five
+// key points assume). The jumper faces +X; Y grows downward.
+//
+// Conventions (see dirFromDown): an angle of 0 points straight down,
+// +pi/2 points forward (+X), pi points straight up, -pi/2 backward.
+type JointAngles struct {
+	// TorsoLean is the forward lean of the hip→shoulder axis measured
+	// from vertical; positive leans toward the jump direction.
+	TorsoLean float64
+	// Neck is the head tilt relative to the torso axis; positive nods
+	// forward.
+	Neck float64
+	// Shoulder is the arm swing relative to hanging-along-the-torso;
+	// positive swings forward/up (pi points straight overhead).
+	Shoulder float64
+	// Elbow is the forearm bend relative to the upper arm; positive
+	// bends forward.
+	Elbow float64
+	// Hip is the thigh swing from straight-down in absolute terms;
+	// positive brings the knee forward/up.
+	Hip float64
+	// Knee is the shin flexion relative to the thigh; positive folds the
+	// heel backward.
+	Knee float64
+	// Ankle is the foot pitch relative to flat-forward; positive lifts
+	// the toes (heel strike), negative points them (toe-off).
+	Ankle float64
+}
+
+// Lerp linearly interpolates between two configurations (t in [0,1]);
+// used by the choreographer to animate between key poses.
+func Lerp(a, b JointAngles, t float64) JointAngles {
+	l := func(x, y float64) float64 { return x + (y-x)*t }
+	return JointAngles{
+		TorsoLean: l(a.TorsoLean, b.TorsoLean),
+		Neck:      l(a.Neck, b.Neck),
+		Shoulder:  l(a.Shoulder, b.Shoulder),
+		Elbow:     l(a.Elbow, b.Elbow),
+		Hip:       l(a.Hip, b.Hip),
+		Knee:      l(a.Knee, b.Knee),
+		Ankle:     l(a.Ankle, b.Ankle),
+	}
+}
+
+// Proportions gives segment lengths as fractions of total standing height.
+type Proportions struct {
+	// HeadRadius is the radius of the head disc.
+	HeadRadius float64
+	// Neck is shoulder→head-centre distance (minus the head radius).
+	Neck float64
+	// Torso is hip→shoulder.
+	Torso float64
+	// UpperArm is shoulder→elbow.
+	UpperArm float64
+	// Forearm is elbow→hand (hand included).
+	Forearm float64
+	// Thigh is hip→knee.
+	Thigh float64
+	// Shin is knee→ankle.
+	Shin float64
+	// Foot is ankle→toe.
+	Foot float64
+}
+
+// DefaultProportions returns anthropometric defaults (fractions of
+// standing height, standard artistic canon).
+func DefaultProportions() Proportions {
+	return Proportions{
+		HeadRadius: 0.070,
+		Neck:       0.045,
+		Torso:      0.300,
+		UpperArm:   0.155,
+		Forearm:    0.160,
+		Thigh:      0.240,
+		Shin:       0.230,
+		Foot:       0.100,
+	}
+}
+
+// Skeleton2D holds the planar joint positions computed from a
+// configuration. All points are in image coordinates (Y down).
+type Skeleton2D struct {
+	Hip      imaging.Pointf // the kinematic root (≈ the paper's waist)
+	Chest    imaging.Pointf // 2/3 up the torso
+	Shoulder imaging.Pointf
+	Head     imaging.Pointf // head centre
+	Elbow    imaging.Pointf
+	Hand     imaging.Pointf
+	Knee     imaging.Pointf
+	Ankle    imaging.Pointf
+	Toe      imaging.Pointf
+}
+
+// dirFromDown maps an angle to a unit vector: 0 → straight down (0,+1),
+// +pi/2 → forward (+1,0), pi → straight up (0,-1).
+func dirFromDown(a float64) imaging.Pointf {
+	return imaging.Pointf{X: math.Sin(a), Y: math.Cos(a)}
+}
+
+// Compute places every joint for the configuration a, rooted at the hip
+// position, with height the total standing height in pixels.
+func Compute(root imaging.Pointf, height float64, a JointAngles, p Proportions) Skeleton2D {
+	var s Skeleton2D
+	s.Hip = root
+
+	torsoUp := dirFromDown(math.Pi - a.TorsoLean)
+	s.Shoulder = root.Add(torsoUp.Scale(p.Torso * height))
+	s.Chest = root.Add(torsoUp.Scale(p.Torso * height * 2.0 / 3.0))
+
+	headDir := dirFromDown(math.Pi - a.TorsoLean - a.Neck)
+	s.Head = s.Shoulder.Add(headDir.Scale((p.Neck + p.HeadRadius) * height))
+
+	// The arm hangs opposite the torso axis at Shoulder = 0.
+	upperDir := dirFromDown(-a.TorsoLean + a.Shoulder)
+	s.Elbow = s.Shoulder.Add(upperDir.Scale(p.UpperArm * height))
+	foreDir := dirFromDown(-a.TorsoLean + a.Shoulder + a.Elbow)
+	s.Hand = s.Elbow.Add(foreDir.Scale(p.Forearm * height))
+
+	thighDir := dirFromDown(a.Hip)
+	s.Knee = root.Add(thighDir.Scale(p.Thigh * height))
+	shinDir := dirFromDown(a.Hip - a.Knee)
+	s.Ankle = s.Knee.Add(shinDir.Scale(p.Shin * height))
+	footDir := dirFromDown(math.Pi/2 + a.Ankle)
+	s.Toe = s.Ankle.Add(footDir.Scale(p.Foot * height))
+	return s
+}
+
+// Joints returns the named joints as a slice ordered root-outward; handy
+// for tests and for the GA baseline's chromosome decoding.
+func (s Skeleton2D) Joints() []imaging.Pointf {
+	return []imaging.Pointf{
+		s.Hip, s.Chest, s.Shoulder, s.Head, s.Elbow, s.Hand, s.Knee, s.Ankle, s.Toe,
+	}
+}
+
+// Lowest returns the lowest joint position (largest Y) — the paper's rule
+// "no matter what pose it is Foot is always the lowest point" anchors on
+// this.
+func (s Skeleton2D) Lowest() imaging.Pointf {
+	low := s.Hip
+	for _, j := range s.Joints() {
+		if j.Y > low.Y {
+			low = j
+		}
+	}
+	return low
+}
+
+func deg(d float64) float64 { return d * math.Pi / 180 }
+
+// canonical holds the reference configuration of each pose.
+var canonical = map[Pose]JointAngles{
+	StandHandsAtSides:      {},
+	StandHandsForward:      {Shoulder: deg(90)},
+	StandHandsUp:           {Shoulder: deg(170)},
+	StandHandsBackward:     {TorsoLean: deg(10), Shoulder: deg(-50)},
+	CrouchHandsBackward:    {TorsoLean: deg(40), Neck: deg(10), Shoulder: deg(-60), Hip: deg(60), Knee: deg(100)},
+	CrouchHandsForward:     {TorsoLean: deg(45), Neck: deg(10), Shoulder: deg(30), Elbow: deg(10), Hip: deg(65), Knee: deg(110)},
+	TakeoffExtension:       {TorsoLean: deg(25), Shoulder: deg(120), Hip: deg(10), Knee: deg(10), Ankle: deg(-40)},
+	TakeoffLean:            {TorsoLean: deg(30), Shoulder: deg(140), Hip: deg(-15), Knee: deg(5), Ankle: deg(-60)},
+	TakeoffToeOff:          {TorsoLean: deg(20), Shoulder: deg(150), Hip: deg(-25), Knee: deg(15), Ankle: deg(-80)},
+	AirAscendArmsUp:        {TorsoLean: deg(10), Shoulder: deg(160), Hip: deg(30), Knee: deg(50), Ankle: deg(-30)},
+	AirTuck:                {TorsoLean: deg(20), Neck: deg(15), Shoulder: deg(120), Hip: deg(100), Knee: deg(125)},
+	AirExtendForward:       {TorsoLean: deg(5), Shoulder: deg(90), Hip: deg(70), Knee: deg(40)},
+	AirDescendLegsForward:  {TorsoLean: deg(-5), Shoulder: deg(60), Hip: deg(75), Knee: deg(20)},
+	AirArmsDownLegsForward: {Shoulder: deg(20), Hip: deg(70), Knee: deg(15), Ankle: deg(15)},
+	AirArch:                {TorsoLean: deg(-25), Shoulder: deg(170), Hip: deg(-20), Knee: deg(30)},
+	LandHeelStrike:         {TorsoLean: deg(15), Shoulder: deg(70), Hip: deg(55), Knee: deg(20), Ankle: deg(20)},
+	LandCrouch:             {TorsoLean: deg(50), Neck: deg(10), Shoulder: deg(80), Hip: deg(70), Knee: deg(100)},
+	LandDeepCrouch:         {TorsoLean: deg(55), Neck: deg(15), Shoulder: deg(60), Hip: deg(85), Knee: deg(125)},
+	LandStandUp:            {TorsoLean: deg(20), Shoulder: deg(30), Hip: deg(25), Knee: deg(35)},
+	LandStand:              {Shoulder: deg(5)},
+	LandFallBack:           {TorsoLean: deg(-30), Shoulder: deg(-70), Hip: deg(60), Knee: deg(60)},
+	LandStepForward:        {TorsoLean: deg(10), Shoulder: deg(10), Hip: deg(45), Knee: deg(10)},
+}
+
+// Angles returns the canonical joint configuration of a pose. It returns
+// the zero configuration (standing at attention) for PoseUnknown or any
+// invalid pose.
+func Angles(p Pose) JointAngles { return canonical[p] }

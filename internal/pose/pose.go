@@ -1,0 +1,235 @@
+// Package pose defines the paper's pose taxonomy: the 22 poses of a
+// standing long jump, the four jump stages (before jumping, jumping, in
+// the air, landing), the stage progression rules, and a 2-D kinematic
+// body model that gives every pose a canonical joint configuration.
+//
+// The paper names only a few of its 22 poses explicitly ("standing & hand
+// overlap with body", "standing & hand swung forward", "knee and foot
+// extended & hand raised forward", "waist bended & hand raised forward");
+// the remaining poses here are reconstructed to cover a complete,
+// biomechanically ordered jump plus the fault poses the scoring stage
+// needs. The canonical joint angles drive the synthetic clip generator,
+// so ground-truth labels and rendered silhouettes are consistent by
+// construction.
+package pose
+
+import "fmt"
+
+// Pose identifies one of the 22 defined poses. PoseUnknown (zero) is the
+// classifier's reject answer, not a member of the taxonomy.
+type Pose int
+
+// The 22 poses, grouped by canonical stage. The first pose of a clip is
+// always StandHandsAtSides (the paper resets "the current pose to
+// 'standing & hand overlap with body'").
+const (
+	// PoseUnknown is the classifier's reject output.
+	PoseUnknown Pose = iota
+
+	// Before-jumping (preparation) poses.
+
+	// StandHandsAtSides: "standing & hand overlap with body".
+	StandHandsAtSides
+	// StandHandsForward: "standing & hand swung forward".
+	StandHandsForward
+	// StandHandsUp: arms raised overhead during the preparatory swing.
+	StandHandsUp
+	// StandHandsBackward: arms swung behind the body (backswing).
+	StandHandsBackward
+	// CrouchHandsBackward: knees and waist bent, arms held back.
+	CrouchHandsBackward
+	// CrouchHandsForward: deep crouch with the arms swinging forward.
+	CrouchHandsForward
+
+	// Jumping (take-off) poses.
+
+	// TakeoffExtension: "knee and foot extended & hand raised forward".
+	TakeoffExtension
+	// TakeoffLean: body tilted forward, legs extending behind.
+	TakeoffLean
+	// TakeoffToeOff: full extension on the toes at the instant of flight.
+	TakeoffToeOff
+
+	// In-the-air poses.
+
+	// AirAscendArmsUp: ascending with the arms overhead.
+	AirAscendArmsUp
+	// AirTuck: knees tucked toward the chest at the apex.
+	AirTuck
+	// AirExtendForward: legs swinging forward, arms forward.
+	AirExtendForward
+	// AirDescendLegsForward: descending with the legs reaching forward.
+	AirDescendLegsForward
+	// AirArmsDownLegsForward: pre-landing, arms sweeping down.
+	AirArmsDownLegsForward
+	// AirArch: FAULT — body arched backward in flight.
+	AirArch
+
+	// Landing poses.
+
+	// LandHeelStrike: heels contacting, knees flexing, arms forward.
+	LandHeelStrike
+	// LandCrouch: "waist bended & hand raised forward" (absorption).
+	LandCrouch
+	// LandDeepCrouch: deepest absorption crouch.
+	LandDeepCrouch
+	// LandStandUp: rising out of the crouch.
+	LandStandUp
+	// LandStand: standing upright after the landing.
+	LandStand
+	// LandFallBack: FAULT — falling backward, arms trailing behind.
+	LandFallBack
+	// LandStepForward: FAULT — stepping forward out of the landing.
+	LandStepForward
+
+	// NumPoses is the number of defined poses (excluding PoseUnknown).
+	NumPoses = int(LandStepForward)
+)
+
+var poseNames = map[Pose]string{
+	PoseUnknown:            "unknown",
+	StandHandsAtSides:      "standing & hands overlap with body",
+	StandHandsForward:      "standing & hands swung forward",
+	StandHandsUp:           "standing & hands raised up",
+	StandHandsBackward:     "standing & hands swung backward",
+	CrouchHandsBackward:    "crouching & hands swung backward",
+	CrouchHandsForward:     "crouching & hands swung forward",
+	TakeoffExtension:       "knee and foot extended & hands raised forward",
+	TakeoffLean:            "taking off & body tilted forward",
+	TakeoffToeOff:          "taking off & full extension on toes",
+	AirAscendArmsUp:        "in air & ascending with arms up",
+	AirTuck:                "in air & knees tucked",
+	AirExtendForward:       "in air & legs extended forward",
+	AirDescendLegsForward:  "in air & descending with legs forward",
+	AirArmsDownLegsForward: "in air & arms down with legs forward",
+	AirArch:                "in air & body arched backward",
+	LandHeelStrike:         "landing & heels striking",
+	LandCrouch:             "waist bended & hands raised forward",
+	LandDeepCrouch:         "landing & deep crouch",
+	LandStandUp:            "landing & standing up",
+	LandStand:              "standing after landing",
+	LandFallBack:           "landing & falling backward",
+	LandStepForward:        "landing & stepping forward",
+}
+
+// String returns the human-readable pose name.
+func (p Pose) String() string {
+	if s, ok := poseNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("pose(%d)", int(p))
+}
+
+// Valid reports whether p is one of the 22 defined poses.
+func (p Pose) Valid() bool { return p >= StandHandsAtSides && p <= LandStepForward }
+
+// IsFault reports whether p is one of the defined fault poses that the
+// scoring stage flags as a deviation from the standard.
+func (p Pose) IsFault() bool {
+	return p == AirArch || p == LandFallBack || p == LandStepForward
+}
+
+// Stage is one of the paper's four jump stages.
+type Stage int
+
+// The four stages of a standing long jump, in temporal order.
+const (
+	// StageBeforeJump covers the preparation: standing, arm swings,
+	// crouching.
+	StageBeforeJump Stage = iota + 1
+	// StageJump covers the take-off extension until the feet leave the
+	// ground.
+	StageJump
+	// StageAir covers flight.
+	StageAir
+	// StageLanding covers touchdown to standing.
+	StageLanding
+
+	// NumStages is the number of stages.
+	NumStages = int(StageLanding)
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageBeforeJump:
+		return "before jumping"
+	case StageJump:
+		return "jumping"
+	case StageAir:
+		return "in the air"
+	case StageLanding:
+		return "landing"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// Valid reports whether s is one of the four defined stages.
+func (s Stage) Valid() bool { return s >= StageBeforeJump && s <= StageLanding }
+
+// StageOf returns the canonical stage of a pose. PoseUnknown maps to
+// StageBeforeJump, the reset state.
+func StageOf(p Pose) Stage {
+	switch {
+	case p >= StandHandsAtSides && p <= CrouchHandsForward:
+		return StageBeforeJump
+	case p >= TakeoffExtension && p <= TakeoffToeOff:
+		return StageJump
+	case p >= AirAscendArmsUp && p <= AirArch:
+		return StageAir
+	case p >= LandHeelStrike && p <= LandStepForward:
+		return StageLanding
+	default:
+		return StageBeforeJump
+	}
+}
+
+// NextStage advances the jump-stage flag given the pose just recognised.
+// Stages only move forward and only one step at a time: "poses belonging
+// to 'before jumping' and poses belonging to 'landing' cannot occur
+// consecutively because it does not exist in real cases." A recognised
+// pose whose canonical stage is the immediate successor advances the
+// flag; anything else (including Unknown and out-of-order poses) leaves
+// it unchanged.
+func NextStage(cur Stage, p Pose) Stage {
+	if !p.Valid() {
+		return cur
+	}
+	ps := StageOf(p)
+	if int(ps) == int(cur)+1 {
+		return ps
+	}
+	return cur
+}
+
+// AllPoses returns the 22 defined poses in declaration (temporal) order.
+func AllPoses() []Pose {
+	out := make([]Pose, 0, NumPoses)
+	for p := StandHandsAtSides; p <= LandStepForward; p++ {
+		out = append(out, p)
+	}
+	return out
+}
+
+// PosesInStage returns the poses whose canonical stage is s, in order.
+func PosesInStage(s Stage) []Pose {
+	var out []Pose
+	for _, p := range AllPoses() {
+		if StageOf(p) == s {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ParsePose resolves a human-readable pose name (as produced by String)
+// back to the Pose value.
+func ParsePose(name string) (Pose, error) {
+	for p, n := range poseNames {
+		if n == name {
+			return p, nil
+		}
+	}
+	return PoseUnknown, fmt.Errorf("pose: unknown pose name %q", name)
+}

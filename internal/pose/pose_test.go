@@ -1,0 +1,363 @@
+package pose
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/imaging"
+)
+
+func TestNumPoses(t *testing.T) {
+	if NumPoses != 22 {
+		t.Fatalf("NumPoses = %d, want 22 (the paper defines 22 poses)", NumPoses)
+	}
+	if got := len(AllPoses()); got != 22 {
+		t.Fatalf("AllPoses = %d entries, want 22", got)
+	}
+}
+
+func TestPoseValidity(t *testing.T) {
+	if PoseUnknown.Valid() {
+		t.Error("PoseUnknown must not be Valid")
+	}
+	for _, p := range AllPoses() {
+		if !p.Valid() {
+			t.Errorf("%v should be valid", p)
+		}
+	}
+	if Pose(99).Valid() {
+		t.Error("out-of-range pose reported valid")
+	}
+}
+
+func TestPoseNamesUniqueAndParseable(t *testing.T) {
+	seen := make(map[string]Pose)
+	for _, p := range AllPoses() {
+		name := p.String()
+		if name == "" {
+			t.Fatalf("pose %d has empty name", p)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("poses %v and %v share the name %q", prev, p, name)
+		}
+		seen[name] = p
+		back, err := ParsePose(name)
+		if err != nil {
+			t.Fatalf("ParsePose(%q): %v", name, err)
+		}
+		if back != p {
+			t.Fatalf("ParsePose(%q) = %v, want %v", name, back, p)
+		}
+	}
+	if _, err := ParsePose("no such pose"); err == nil {
+		t.Error("ParsePose should fail on unknown names")
+	}
+	if Pose(99).String() == "" {
+		t.Error("out-of-range pose should still stringify")
+	}
+}
+
+func TestPaperNamedPoses(t *testing.T) {
+	// The four poses the paper names explicitly must exist verbatim.
+	for name, want := range map[string]Pose{
+		"standing & hands overlap with body":            StandHandsAtSides,
+		"standing & hands swung forward":                StandHandsForward,
+		"knee and foot extended & hands raised forward": TakeoffExtension,
+		"waist bended & hands raised forward":           LandCrouch,
+	} {
+		got, err := ParsePose(name)
+		if err != nil {
+			t.Errorf("paper pose %q missing: %v", name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParsePose(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestStageOf(t *testing.T) {
+	tests := []struct {
+		p    Pose
+		want Stage
+	}{
+		{StandHandsAtSides, StageBeforeJump},
+		{CrouchHandsForward, StageBeforeJump},
+		{TakeoffExtension, StageJump},
+		{TakeoffToeOff, StageJump},
+		{AirAscendArmsUp, StageAir},
+		{AirArch, StageAir},
+		{LandHeelStrike, StageLanding},
+		{LandStepForward, StageLanding},
+		{PoseUnknown, StageBeforeJump},
+	}
+	for _, tt := range tests {
+		if got := StageOf(tt.p); got != tt.want {
+			t.Errorf("StageOf(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestEveryPoseHasAStage(t *testing.T) {
+	count := 0
+	for s := StageBeforeJump; s <= StageLanding; s++ {
+		ps := PosesInStage(s)
+		if len(ps) == 0 {
+			t.Errorf("stage %v has no poses", s)
+		}
+		count += len(ps)
+		for _, p := range ps {
+			if StageOf(p) != s {
+				t.Errorf("PosesInStage(%v) contains %v with stage %v", s, p, StageOf(p))
+			}
+		}
+	}
+	if count != NumPoses {
+		t.Errorf("stage partition covers %d poses, want %d", count, NumPoses)
+	}
+}
+
+func TestNextStage(t *testing.T) {
+	tests := []struct {
+		name string
+		cur  Stage
+		p    Pose
+		want Stage
+	}{
+		{"advance to jump", StageBeforeJump, TakeoffExtension, StageJump},
+		{"advance to air", StageJump, AirTuck, StageAir},
+		{"advance to landing", StageAir, LandHeelStrike, StageLanding},
+		{"stay within stage", StageBeforeJump, CrouchHandsForward, StageBeforeJump},
+		{"no skip before->air", StageBeforeJump, AirTuck, StageBeforeJump},
+		{"no skip before->landing", StageBeforeJump, LandCrouch, StageBeforeJump},
+		{"no regression", StageLanding, StandHandsAtSides, StageLanding},
+		{"unknown keeps stage", StageAir, PoseUnknown, StageAir},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := NextStage(tt.cur, tt.p); got != tt.want {
+				t.Errorf("NextStage(%v, %v) = %v, want %v", tt.cur, tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStageString(t *testing.T) {
+	want := map[Stage]string{
+		StageBeforeJump: "before jumping",
+		StageJump:       "jumping",
+		StageAir:        "in the air",
+		StageLanding:    "landing",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+		if !s.Valid() {
+			t.Errorf("%v should be valid", s)
+		}
+	}
+	if Stage(0).Valid() || Stage(5).Valid() {
+		t.Error("out-of-range stages reported valid")
+	}
+}
+
+func TestFaultPoses(t *testing.T) {
+	faults := 0
+	for _, p := range AllPoses() {
+		if p.IsFault() {
+			faults++
+		}
+	}
+	if faults != 3 {
+		t.Errorf("fault poses = %d, want 3 (AirArch, LandFallBack, LandStepForward)", faults)
+	}
+	if StandHandsAtSides.IsFault() {
+		t.Error("a standard pose is flagged as fault")
+	}
+}
+
+func TestEveryPoseHasCanonicalAngles(t *testing.T) {
+	for _, p := range AllPoses() {
+		if _, ok := canonical[p]; !ok {
+			t.Errorf("pose %v has no canonical configuration", p)
+		}
+	}
+}
+
+func TestLerpEndpointsAndMidpoint(t *testing.T) {
+	a := JointAngles{TorsoLean: 0, Shoulder: 0}
+	b := JointAngles{TorsoLean: 1, Shoulder: 2}
+	if got := Lerp(a, b, 0); got != a {
+		t.Errorf("Lerp t=0 = %+v", got)
+	}
+	if got := Lerp(a, b, 1); got != b {
+		t.Errorf("Lerp t=1 = %+v", got)
+	}
+	mid := Lerp(a, b, 0.5)
+	if mid.TorsoLean != 0.5 || mid.Shoulder != 1 {
+		t.Errorf("Lerp t=0.5 = %+v", mid)
+	}
+}
+
+func TestComputeStandingGeometry(t *testing.T) {
+	root := imaging.Pointf{X: 100, Y: 100}
+	s := Compute(root, 100, JointAngles{}, DefaultProportions())
+	// Standing at attention: shoulder directly above hip.
+	if math.Abs(s.Shoulder.X-root.X) > 1e-9 {
+		t.Errorf("shoulder X = %v, want %v", s.Shoulder.X, root.X)
+	}
+	if s.Shoulder.Y >= root.Y {
+		t.Error("shoulder should be above the hip (smaller Y)")
+	}
+	// Head above shoulder.
+	if s.Head.Y >= s.Shoulder.Y {
+		t.Error("head should be above the shoulder")
+	}
+	// Hand hangs below shoulder, near the hip line.
+	if s.Hand.Y <= s.Shoulder.Y {
+		t.Error("hanging hand should be below the shoulder")
+	}
+	// Knee and ankle below hip, ankle below knee.
+	if !(s.Knee.Y > root.Y && s.Ankle.Y > s.Knee.Y) {
+		t.Error("leg joints out of order")
+	}
+	// Toe forward of ankle for a flat foot.
+	if s.Toe.X <= s.Ankle.X {
+		t.Error("flat foot should point forward (+X)")
+	}
+	// Standing height ≈ head top to ankle: proportions should make the
+	// ankle-to-head span most of the height.
+	span := s.Ankle.Y - s.Head.Y
+	if span < 70 || span > 100 {
+		t.Errorf("vertical span = %v for height 100, want within [70,100]", span)
+	}
+}
+
+func TestComputeHandsForward(t *testing.T) {
+	root := imaging.Pointf{X: 100, Y: 100}
+	s := Compute(root, 100, Angles(StandHandsForward), DefaultProportions())
+	if s.Hand.X <= s.Shoulder.X {
+		t.Error("hands-forward pose should put the hand ahead of the shoulder")
+	}
+	// Arm horizontal: hand at roughly shoulder height.
+	if math.Abs(s.Hand.Y-s.Shoulder.Y) > 5 {
+		t.Errorf("hand Y = %v, shoulder Y = %v; want near-horizontal arm", s.Hand.Y, s.Shoulder.Y)
+	}
+}
+
+func TestComputeHandsUp(t *testing.T) {
+	s := Compute(imaging.Pointf{X: 100, Y: 100}, 100, Angles(StandHandsUp), DefaultProportions())
+	if s.Hand.Y >= s.Shoulder.Y {
+		t.Error("hands-up pose should put the hand above the shoulder")
+	}
+}
+
+func TestComputeHandsBackward(t *testing.T) {
+	s := Compute(imaging.Pointf{X: 100, Y: 100}, 100, Angles(StandHandsBackward), DefaultProportions())
+	if s.Hand.X >= s.Shoulder.X {
+		t.Error("backswing should put the hand behind the shoulder")
+	}
+}
+
+func TestComputeCrouchLowersShoulder(t *testing.T) {
+	stand := Compute(imaging.Pointf{X: 100, Y: 100}, 100, Angles(StandHandsAtSides), DefaultProportions())
+	crouch := Compute(imaging.Pointf{X: 100, Y: 100}, 100, Angles(CrouchHandsBackward), DefaultProportions())
+	// With the same hip root, a crouching torso lean lowers the shoulder.
+	if crouch.Shoulder.Y <= stand.Shoulder.Y {
+		t.Error("crouch should lower the shoulder relative to standing")
+	}
+	// Knee comes forward.
+	if crouch.Knee.X <= stand.Knee.X {
+		t.Error("crouch should bring the knee forward")
+	}
+	// Heel folds back: ankle behind knee.
+	if crouch.Ankle.X >= crouch.Knee.X {
+		t.Error("crouch knee flexion should put the ankle behind the knee")
+	}
+}
+
+func TestComputeTuckRaisesKnee(t *testing.T) {
+	s := Compute(imaging.Pointf{X: 100, Y: 100}, 100, Angles(AirTuck), DefaultProportions())
+	if s.Knee.Y >= s.Hip.Y {
+		t.Error("tuck should raise the knee to or above hip height")
+	}
+}
+
+func TestComputeFallBackLeansBack(t *testing.T) {
+	s := Compute(imaging.Pointf{X: 100, Y: 100}, 100, Angles(LandFallBack), DefaultProportions())
+	if s.Shoulder.X >= s.Hip.X {
+		t.Error("fall-back fault should lean the shoulder behind the hip")
+	}
+	if s.Hand.X >= s.Shoulder.X {
+		t.Error("fall-back fault should trail the hand behind")
+	}
+}
+
+func TestLowest(t *testing.T) {
+	s := Compute(imaging.Pointf{X: 100, Y: 100}, 100, JointAngles{}, DefaultProportions())
+	low := s.Lowest()
+	// Standing: the lowest joint is the ankle or toe.
+	if low.Y < s.Knee.Y {
+		t.Errorf("lowest joint Y = %v above knee %v", low.Y, s.Knee.Y)
+	}
+}
+
+func TestCanonicalPosesAreDistinct(t *testing.T) {
+	// Every pair of canonical configurations must differ in at least one
+	// joint by a meaningful margin OR belong to different stages (the
+	// stage flag disambiguates — e.g. StandHandsAtSides vs LandStand).
+	poses := AllPoses()
+	for i := 0; i < len(poses); i++ {
+		for j := i + 1; j < len(poses); j++ {
+			a, b := Angles(poses[i]), Angles(poses[j])
+			d := math.Abs(a.TorsoLean-b.TorsoLean) + math.Abs(a.Shoulder-b.Shoulder) +
+				math.Abs(a.Elbow-b.Elbow) + math.Abs(a.Hip-b.Hip) +
+				math.Abs(a.Knee-b.Knee) + math.Abs(a.Ankle-b.Ankle)
+			if d < 0.1 && StageOf(poses[i]) == StageOf(poses[j]) {
+				t.Errorf("poses %v and %v are nearly identical within one stage (Δ=%v)",
+					poses[i], poses[j], d)
+			}
+		}
+	}
+}
+
+func TestJointsOrder(t *testing.T) {
+	s := Compute(imaging.Pointf{X: 0, Y: 0}, 100, JointAngles{}, DefaultProportions())
+	js := s.Joints()
+	if len(js) != 9 {
+		t.Fatalf("Joints() = %d entries, want 9", len(js))
+	}
+	if js[0] != s.Hip || js[len(js)-1] != s.Toe {
+		t.Error("Joints() ordering changed; dependent code assumes root-outward")
+	}
+}
+
+func TestComputeScalesLinearly(t *testing.T) {
+	// Property: doubling the height doubles every joint's offset from
+	// the root.
+	root := imaging.Pointf{X: 50, Y: 60}
+	for _, p := range AllPoses() {
+		s1 := Compute(root, 80, Angles(p), DefaultProportions())
+		s2 := Compute(root, 160, Angles(p), DefaultProportions())
+		j1, j2 := s1.Joints(), s2.Joints()
+		for k := range j1 {
+			d1 := j1[k].Sub(root)
+			d2 := j2[k].Sub(root)
+			if math.Abs(d2.X-2*d1.X) > 1e-9 || math.Abs(d2.Y-2*d1.Y) > 1e-9 {
+				t.Fatalf("pose %v joint %d does not scale linearly: %v vs %v", p, k, d1, d2)
+			}
+		}
+	}
+}
+
+func TestComputeTranslationEquivariance(t *testing.T) {
+	a := Compute(imaging.Pointf{X: 0, Y: 0}, 100, Angles(AirTuck), DefaultProportions())
+	b := Compute(imaging.Pointf{X: 37, Y: -12}, 100, Angles(AirTuck), DefaultProportions())
+	ja, jb := a.Joints(), b.Joints()
+	for k := range ja {
+		if math.Abs(jb[k].X-ja[k].X-37) > 1e-9 || math.Abs(jb[k].Y-ja[k].Y+12) > 1e-9 {
+			t.Fatalf("joint %d not translation-equivariant", k)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package scoring implements the third part of the paper's system: with
+// "the determined poses in all the frames, bad movements can thus be
+// identified" and "advices to the jumper can be given". It encodes the
+// standing-long-jump standards as rules over the per-frame pose sequence
+// and produces a fault list with coaching advice plus a numeric score.
+package scoring
+
+import (
+	"fmt"
+
+	"repro/internal/pose"
+)
+
+// FaultCode identifies a deviation from the standard.
+type FaultCode string
+
+// The rule catalogue.
+const (
+	// FaultNoBackswing: the arms were never swung backward during
+	// preparation.
+	FaultNoBackswing FaultCode = "no-backswing"
+	// FaultNoCrouch: no preparatory crouch before take-off.
+	FaultNoCrouch FaultCode = "no-crouch"
+	// FaultNoExtension: no full knee/ankle extension at take-off.
+	FaultNoExtension FaultCode = "no-extension"
+	// FaultArchedBack: the body arched backward in flight.
+	FaultArchedBack FaultCode = "arched-back"
+	// FaultNoTuck: the knees were never tucked / legs never swung
+	// forward in flight.
+	FaultNoTuck FaultCode = "no-tuck"
+	// FaultFellBackward: the jumper fell backward on landing.
+	FaultFellBackward FaultCode = "fell-backward"
+	// FaultSteppedForward: the jumper stepped forward out of the landing.
+	FaultSteppedForward FaultCode = "stepped-forward"
+	// FaultNoAbsorption: no absorbing crouch on landing.
+	FaultNoAbsorption FaultCode = "no-absorption"
+	// FaultIncomplete: the clip never reaches flight — not a real jump.
+	FaultIncomplete FaultCode = "incomplete-jump"
+	// FaultRushedPreparation: the preparation phase is too short for a
+	// proper swing-and-crouch sequence.
+	FaultRushedPreparation FaultCode = "rushed-preparation"
+	// FaultShortFlight: the flight phase is implausibly short — the
+	// jump had no height or the take-off was aborted.
+	FaultShortFlight FaultCode = "short-flight"
+)
+
+// Minimum phase durations (frames) for a well-formed jump at the
+// paper's ~25 fps: preparation needs time for the swing and crouch;
+// flight shorter than 3 frames means almost no air time.
+const (
+	minPreparationFrames = 6
+	minFlightFrames      = 3
+)
+
+// Fault is one detected deviation.
+type Fault struct {
+	// Code identifies the rule.
+	Code FaultCode
+	// Description says what was observed.
+	Description string
+	// Advice is the coaching cue.
+	Advice string
+	// FirstFrame, LastFrame bound the offending (or missing) span;
+	// for missing-element faults they bound the stage searched.
+	FirstFrame, LastFrame int
+	// Deduction is the score penalty in points.
+	Deduction int
+}
+
+// Report is the full evaluation of one clip.
+type Report struct {
+	// Frames is the number of frames evaluated.
+	Frames int
+	// Faults lists detected deviations in rule-catalogue order.
+	Faults []Fault
+	// Score is 100 minus deductions, floored at 0.
+	Score int
+	// UnknownFrames counts frames the classifier rejected.
+	UnknownFrames int
+	// StageSpans maps each reached stage to its [first, last] frame.
+	StageSpans map[pose.Stage][2]int
+}
+
+// HasFault reports whether the report contains the code.
+func (r Report) HasFault(code FaultCode) bool {
+	for _, f := range r.Faults {
+		if f.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// Smooth removes single-frame blips from a pose sequence: a frame whose
+// neighbours agree with each other but not with it takes the neighbours'
+// value. Unknown frames adopt the previous recognised pose. This mirrors
+// the paper's observation that "most errors ... occurred in consecutive
+// frames" — isolated errors are cheap to repair before rule evaluation.
+func Smooth(seq []pose.Pose) []pose.Pose {
+	out := make([]pose.Pose, len(seq))
+	copy(out, seq)
+	// Fill Unknowns with the previous recognised pose.
+	last := pose.PoseUnknown
+	for i, p := range out {
+		if p == pose.PoseUnknown {
+			if last != pose.PoseUnknown {
+				out[i] = last
+			}
+		} else {
+			last = p
+		}
+	}
+	// Repair isolated blips.
+	for i := 1; i+1 < len(out); i++ {
+		if out[i-1] == out[i+1] && out[i] != out[i-1] {
+			out[i] = out[i-1]
+		}
+	}
+	return out
+}
+
+// stageSpans computes the frame span of each stage from the pose
+// sequence, using the canonical stage FSM.
+func stageSpans(seq []pose.Pose) map[pose.Stage][2]int {
+	spans := make(map[pose.Stage][2]int)
+	stage := pose.StageBeforeJump
+	for i, p := range seq {
+		stage = pose.NextStage(stage, p)
+		if sp, ok := spans[stage]; ok {
+			sp[1] = i
+			spans[stage] = sp
+		} else {
+			spans[stage] = [2]int{i, i}
+		}
+	}
+	return spans
+}
+
+// contains reports whether any of the poses appears within frames
+// [from, to] of seq.
+func contains(seq []pose.Pose, from, to int, poses ...pose.Pose) (int, bool) {
+	for i := from; i <= to && i < len(seq); i++ {
+		for _, p := range poses {
+			if seq[i] == p {
+				return i, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Evaluate applies the standard's rules to a recognised pose sequence
+// (one pose per frame; PoseUnknown allowed) and produces the report.
+func Evaluate(seq []pose.Pose) Report {
+	rep := Report{
+		Frames:     len(seq),
+		StageSpans: make(map[pose.Stage][2]int),
+	}
+	for _, p := range seq {
+		if p == pose.PoseUnknown {
+			rep.UnknownFrames++
+		}
+	}
+	smoothed := Smooth(seq)
+	rep.StageSpans = stageSpans(smoothed)
+
+	add := func(code FaultCode, desc, advice string, first, last, deduction int) {
+		rep.Faults = append(rep.Faults, Fault{
+			Code: code, Description: desc, Advice: advice,
+			FirstFrame: first, LastFrame: last, Deduction: deduction,
+		})
+	}
+
+	airSpan, reachedAir := rep.StageSpans[pose.StageAir]
+	if !reachedAir {
+		add(FaultIncomplete,
+			"the clip never reaches the flight phase",
+			"perform a complete jump: swing, crouch, take off and land",
+			0, max(len(seq)-1, 0), 40)
+	}
+
+	// Phase-duration rules.
+	if sp, ok := rep.StageSpans[pose.StageBeforeJump]; ok {
+		if dur := sp[1] - sp[0] + 1; dur < minPreparationFrames {
+			add(FaultRushedPreparation,
+				fmt.Sprintf("the preparation lasted only %d frames", dur),
+				"take time before the jump: swing the arms and settle into the crouch",
+				sp[0], sp[1], 5)
+		}
+	}
+	if reachedAir {
+		if dur := airSpan[1] - airSpan[0] + 1; dur < minFlightFrames {
+			add(FaultShortFlight,
+				fmt.Sprintf("the flight phase lasted only %d frames", dur),
+				"drive harder at take-off to gain air time",
+				airSpan[0], airSpan[1], 10)
+		}
+	}
+
+	// Preparation rules, evaluated over the before-jump span.
+	if sp, ok := rep.StageSpans[pose.StageBeforeJump]; ok {
+		if _, found := contains(smoothed, sp[0], sp[1],
+			pose.StandHandsBackward, pose.CrouchHandsBackward); !found {
+			add(FaultNoBackswing,
+				"the arms were never swung backward during preparation",
+				"swing both arms backward before jumping to build momentum",
+				sp[0], sp[1], 10)
+		}
+		if _, found := contains(smoothed, sp[0], sp[1],
+			pose.CrouchHandsBackward, pose.CrouchHandsForward); !found {
+			add(FaultNoCrouch,
+				"no preparatory crouch was observed",
+				"bend your knees to about 90 degrees before taking off",
+				sp[0], sp[1], 15)
+		}
+	}
+
+	// Take-off extension.
+	if _, found := contains(smoothed, 0, len(smoothed)-1,
+		pose.TakeoffExtension, pose.TakeoffLean, pose.TakeoffToeOff); !found {
+		add(FaultNoExtension,
+			"knees and ankles were never fully extended at take-off",
+			"drive through the legs: extend knees and ankles completely",
+			0, max(len(seq)-1, 0), 15)
+	}
+
+	// Flight rules.
+	if reachedAir {
+		if i, found := contains(smoothed, airSpan[0], airSpan[1], pose.AirArch); found {
+			add(FaultArchedBack,
+				"the body arched backward in flight",
+				"keep the chin down and bring the knees toward the chest",
+				i, airSpan[1], 20)
+		}
+		if _, found := contains(smoothed, airSpan[0], airSpan[1],
+			pose.AirTuck, pose.AirExtendForward, pose.AirDescendLegsForward); !found {
+			add(FaultNoTuck,
+				"the knees were never tucked and the legs never reached forward",
+				"tuck the knees at the apex and shoot the legs forward to land",
+				airSpan[0], airSpan[1], 15)
+		}
+	}
+
+	// Landing rules.
+	if sp, ok := rep.StageSpans[pose.StageLanding]; ok {
+		if i, found := contains(smoothed, sp[0], sp[1], pose.LandFallBack); found {
+			add(FaultFellBackward,
+				"the jumper fell backward after touchdown",
+				"throw the arms forward on landing and keep the weight over the feet",
+				i, sp[1], 20)
+		}
+		if i, found := contains(smoothed, sp[0], sp[1], pose.LandStepForward); found {
+			add(FaultSteppedForward,
+				"the jumper stepped forward out of the landing",
+				"stick the landing: hold both feet in place until balanced",
+				i, sp[1], 10)
+		}
+		if _, found := contains(smoothed, sp[0], sp[1],
+			pose.LandCrouch, pose.LandDeepCrouch); !found {
+			add(FaultNoAbsorption,
+				"the landing was not absorbed with a crouch",
+				"bend the knees on touchdown to absorb the impact",
+				sp[0], sp[1], 10)
+		}
+	}
+
+	score := 100
+	for _, f := range rep.Faults {
+		score -= f.Deduction
+	}
+	if score < 0 {
+		score = 0
+	}
+	rep.Score = score
+	return rep
+}
+
+// String renders a human-readable coaching report.
+func (r Report) String() string {
+	s := fmt.Sprintf("score %d/100 over %d frames (%d unknown)\n", r.Score, r.Frames, r.UnknownFrames)
+	if len(r.Faults) == 0 {
+		s += "no faults detected — a standard jump\n"
+		return s
+	}
+	for _, f := range r.Faults {
+		s += fmt.Sprintf("- [%s] frames %d-%d: %s (-%d)\n    advice: %s\n",
+			f.Code, f.FirstFrame, f.LastFrame, f.Description, f.Deduction, f.Advice)
+	}
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

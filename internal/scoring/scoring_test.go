@@ -1,0 +1,267 @@
+package scoring
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pose"
+	"repro/internal/synth"
+)
+
+// seqFromScript expands a synth script into the per-frame label sequence.
+func seqFromScript(script []synth.Step) []pose.Pose {
+	var seq []pose.Pose
+	for _, st := range script {
+		for i := 0; i < st.Frames; i++ {
+			seq = append(seq, st.Pose)
+		}
+	}
+	return seq
+}
+
+func TestStandardJumpScoresClean(t *testing.T) {
+	rep := Evaluate(seqFromScript(synth.DefaultScript()))
+	if len(rep.Faults) != 0 {
+		t.Fatalf("standard jump produced faults: %+v", rep.Faults)
+	}
+	if rep.Score != 100 {
+		t.Errorf("score = %d, want 100", rep.Score)
+	}
+	if rep.UnknownFrames != 0 {
+		t.Errorf("unknown frames = %d", rep.UnknownFrames)
+	}
+	// All four stages must be reached.
+	for s := pose.StageBeforeJump; s <= pose.StageLanding; s++ {
+		if _, ok := rep.StageSpans[s]; !ok {
+			t.Errorf("stage %v not reached in the span map", s)
+		}
+	}
+}
+
+func TestArchedBackDetected(t *testing.T) {
+	rep := Evaluate(seqFromScript(synth.FaultyScript(pose.AirArch)))
+	if !rep.HasFault(FaultArchedBack) {
+		t.Fatal("arched-back fault not detected")
+	}
+	if rep.Score >= 100 {
+		t.Error("score not deducted")
+	}
+}
+
+func TestFellBackwardDetected(t *testing.T) {
+	rep := Evaluate(seqFromScript(synth.FaultyScript(pose.LandFallBack)))
+	if !rep.HasFault(FaultFellBackward) {
+		t.Fatal("fell-backward fault not detected")
+	}
+	// Replacing the absorption crouch also removes absorption.
+	if !rep.HasFault(FaultNoAbsorption) {
+		t.Error("missing-absorption should also fire when the crouch is replaced")
+	}
+}
+
+func TestSteppedForwardDetected(t *testing.T) {
+	rep := Evaluate(seqFromScript(synth.FaultyScript(pose.LandStepForward)))
+	if !rep.HasFault(FaultSteppedForward) {
+		t.Fatal("stepped-forward fault not detected")
+	}
+}
+
+func TestMissingBackswing(t *testing.T) {
+	// Build a jump whose preparation goes straight from standing to a
+	// forward-arm crouch.
+	seq := seqFromScript([]synth.Step{
+		{Pose: pose.StandHandsAtSides, Frames: 3},
+		{Pose: pose.StandHandsForward, Frames: 3},
+		{Pose: pose.CrouchHandsForward, Frames: 3},
+		{Pose: pose.TakeoffExtension, Frames: 2},
+		{Pose: pose.AirTuck, Frames: 3},
+		{Pose: pose.AirDescendLegsForward, Frames: 2},
+		{Pose: pose.LandHeelStrike, Frames: 2},
+		{Pose: pose.LandCrouch, Frames: 2},
+		{Pose: pose.LandStand, Frames: 2},
+	})
+	rep := Evaluate(seq)
+	if !rep.HasFault(FaultNoBackswing) {
+		t.Fatal("missing backswing not detected")
+	}
+	if rep.HasFault(FaultNoCrouch) {
+		t.Error("crouch was present but flagged")
+	}
+}
+
+func TestMissingCrouchAndExtension(t *testing.T) {
+	seq := seqFromScript([]synth.Step{
+		{Pose: pose.StandHandsAtSides, Frames: 3},
+		{Pose: pose.StandHandsBackward, Frames: 2},
+		{Pose: pose.TakeoffLean, Frames: 1}, // minimal takeoff to enter air
+		{Pose: pose.AirTuck, Frames: 3},
+		{Pose: pose.LandHeelStrike, Frames: 2},
+		{Pose: pose.LandCrouch, Frames: 2},
+	})
+	rep := Evaluate(seq)
+	if !rep.HasFault(FaultNoCrouch) {
+		t.Error("missing crouch not detected")
+	}
+	if rep.HasFault(FaultNoExtension) {
+		t.Error("takeoff pose present but extension flagged missing")
+	}
+}
+
+func TestIncompleteJump(t *testing.T) {
+	seq := seqFromScript([]synth.Step{
+		{Pose: pose.StandHandsAtSides, Frames: 5},
+		{Pose: pose.StandHandsForward, Frames: 5},
+	})
+	rep := Evaluate(seq)
+	if !rep.HasFault(FaultIncomplete) {
+		t.Fatal("incomplete jump not detected")
+	}
+	if rep.Score > 60 {
+		t.Errorf("incomplete jump scored %d, want heavy deduction", rep.Score)
+	}
+}
+
+func TestNoTuckDetected(t *testing.T) {
+	seq := seqFromScript([]synth.Step{
+		{Pose: pose.StandHandsAtSides, Frames: 2},
+		{Pose: pose.StandHandsBackward, Frames: 2},
+		{Pose: pose.CrouchHandsBackward, Frames: 2},
+		{Pose: pose.TakeoffExtension, Frames: 2},
+		{Pose: pose.AirAscendArmsUp, Frames: 3}, // flight without tuck/extend
+		{Pose: pose.LandHeelStrike, Frames: 2},
+		{Pose: pose.LandCrouch, Frames: 2},
+	})
+	rep := Evaluate(seq)
+	if !rep.HasFault(FaultNoTuck) {
+		t.Fatal("missing tuck not detected")
+	}
+}
+
+func TestUnknownFramesCounted(t *testing.T) {
+	seq := seqFromScript(synth.DefaultScript())
+	seq[5] = pose.PoseUnknown
+	seq[6] = pose.PoseUnknown
+	rep := Evaluate(seq)
+	if rep.UnknownFrames != 2 {
+		t.Errorf("unknown frames = %d, want 2", rep.UnknownFrames)
+	}
+}
+
+func TestSmoothRepairsBlip(t *testing.T) {
+	seq := []pose.Pose{
+		pose.StandHandsAtSides, pose.StandHandsAtSides, pose.AirTuck,
+		pose.StandHandsAtSides, pose.StandHandsAtSides,
+	}
+	out := Smooth(seq)
+	if out[2] != pose.StandHandsAtSides {
+		t.Error("isolated blip not repaired")
+	}
+	// Input unchanged.
+	if seq[2] != pose.AirTuck {
+		t.Error("Smooth mutated its input")
+	}
+}
+
+func TestSmoothFillsUnknown(t *testing.T) {
+	seq := []pose.Pose{
+		pose.StandHandsForward, pose.PoseUnknown, pose.PoseUnknown, pose.CrouchHandsForward,
+	}
+	out := Smooth(seq)
+	if out[1] != pose.StandHandsForward || out[2] != pose.StandHandsForward {
+		t.Errorf("unknowns not filled: %v", out)
+	}
+	// Leading unknown with no prior pose stays unknown.
+	lead := Smooth([]pose.Pose{pose.PoseUnknown, pose.AirTuck})
+	if lead[0] != pose.PoseUnknown {
+		t.Error("leading unknown should stay unknown")
+	}
+}
+
+func TestSmoothBlipSurvivesEvaluation(t *testing.T) {
+	// A single mis-classified frame in an otherwise standard jump must
+	// not trigger a fault (the smoothing shields the rules).
+	seq := seqFromScript(synth.DefaultScript())
+	// Corrupt one mid-air frame (with agreeing neighbours) into a
+	// fall-back pose.
+	for i := 1; i+1 < len(seq); i++ {
+		if seq[i] == pose.AirTuck && seq[i-1] == pose.AirTuck && seq[i+1] == pose.AirTuck {
+			seq[i] = pose.LandFallBack
+			break
+		}
+	}
+	rep := Evaluate(seq)
+	if rep.HasFault(FaultFellBackward) {
+		t.Error("an isolated misclassification triggered a fault; smoothing ineffective")
+	}
+}
+
+func TestScoreFloor(t *testing.T) {
+	// An empty-ish sequence with everything wrong cannot go below zero.
+	rep := Evaluate([]pose.Pose{pose.PoseUnknown, pose.PoseUnknown})
+	if rep.Score < 0 {
+		t.Errorf("score = %d, want >= 0", rep.Score)
+	}
+}
+
+func TestEmptySequence(t *testing.T) {
+	rep := Evaluate(nil)
+	if rep.Frames != 0 {
+		t.Errorf("frames = %d", rep.Frames)
+	}
+	if !rep.HasFault(FaultIncomplete) {
+		t.Error("empty sequence should be incomplete")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	clean := Evaluate(seqFromScript(synth.DefaultScript()))
+	if !strings.Contains(clean.String(), "no faults") {
+		t.Error("clean report should say no faults")
+	}
+	faulty := Evaluate(seqFromScript(synth.FaultyScript(pose.AirArch)))
+	s := faulty.String()
+	if !strings.Contains(s, string(FaultArchedBack)) || !strings.Contains(s, "advice:") {
+		t.Errorf("faulty report missing content:\n%s", s)
+	}
+}
+
+func TestRushedPreparationDetected(t *testing.T) {
+	seq := seqFromScript([]synth.Step{
+		{Pose: pose.StandHandsBackward, Frames: 1},
+		{Pose: pose.CrouchHandsBackward, Frames: 2},
+		{Pose: pose.TakeoffExtension, Frames: 2},
+		{Pose: pose.AirTuck, Frames: 3},
+		{Pose: pose.AirDescendLegsForward, Frames: 2},
+		{Pose: pose.LandHeelStrike, Frames: 2},
+		{Pose: pose.LandCrouch, Frames: 2},
+	})
+	rep := Evaluate(seq)
+	if !rep.HasFault(FaultRushedPreparation) {
+		t.Fatal("3-frame preparation not flagged as rushed")
+	}
+	// A standard jump must NOT trigger it.
+	clean := Evaluate(seqFromScript(synth.DefaultScript()))
+	if clean.HasFault(FaultRushedPreparation) {
+		t.Error("standard jump flagged as rushed")
+	}
+}
+
+func TestShortFlightDetected(t *testing.T) {
+	seq := seqFromScript([]synth.Step{
+		{Pose: pose.StandHandsAtSides, Frames: 3},
+		{Pose: pose.StandHandsBackward, Frames: 2},
+		{Pose: pose.CrouchHandsBackward, Frames: 3},
+		{Pose: pose.TakeoffExtension, Frames: 2},
+		{Pose: pose.AirTuck, Frames: 2}, // only 2 airborne frames
+		{Pose: pose.LandHeelStrike, Frames: 2},
+		{Pose: pose.LandCrouch, Frames: 2},
+	})
+	rep := Evaluate(seq)
+	if !rep.HasFault(FaultShortFlight) {
+		t.Fatal("2-frame flight not flagged as short")
+	}
+	clean := Evaluate(seqFromScript(synth.DefaultScript()))
+	if clean.HasFault(FaultShortFlight) {
+		t.Error("standard jump flagged as short flight")
+	}
+}

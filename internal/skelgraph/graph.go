@@ -1,0 +1,674 @@
+// Package skelgraph converts a raw thinning result into the simplified
+// skeleton graph of Section 3 of the paper:
+//
+//  1. the thinned pixel set becomes a graph (8-adjacency, with redundant
+//     diagonal links suppressed),
+//  2. "adjacent junction vertices" — vertices with more than one junction
+//     vertex among their eight neighbours — are removed, capping every
+//     degree at 4 and breaking lines around junction clusters,
+//  3. a MAXIMUM spanning tree over the resulting segments (with short
+//     bridge edges re-connecting the broken lines) cuts every loop, and
+//  4. noisy branches shorter than a threshold are pruned, strictly one
+//     branch at a time so a true branch next to a noisy one survives
+//     (Figure 4).
+//
+// The graph is represented in contracted form: nodes are the distinguished
+// pixels (endpoints, junctions, isolated pixels and cut points) and each
+// segment carries the full pixel path between its two nodes, so the
+// original geometry is never lost and the skeleton can be rasterised back
+// into an image.
+package skelgraph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/imaging"
+)
+
+// DefaultPruneLen is the paper's noisy-branch threshold: "If the branch
+// consists of less than 10 vertices, it might be a noisy (redundant)
+// branch and needs to be deleted."
+const DefaultPruneLen = 10
+
+// DefaultBridgeRadius is the maximum Euclidean distance over which two
+// broken-line endpoints may be re-joined after adjacent-junction-vertex
+// removal. Removal deletes at most a 1-pixel rim around a junction
+// cluster, so 3 pixels of slack is enough in practice.
+const DefaultBridgeRadius = 3.0
+
+// ErrEmptySkeleton reports that the input image had no foreground pixels.
+var ErrEmptySkeleton = errors.New("skelgraph: empty skeleton")
+
+// NodeKind classifies a node of the contracted skeleton graph.
+type NodeKind int
+
+// Node kinds. Kinds reflect the CURRENT degree of the node and are kept up
+// to date by the mutating operations.
+const (
+	// KindEnd is a node with exactly one incident segment (a limb tip).
+	KindEnd NodeKind = iota + 1
+	// KindJunction has three or more incident segments (a body-part
+	// intersection, e.g. "head and hand" per the paper).
+	KindJunction
+	// KindIsolated has no incident segments.
+	KindIsolated
+	// KindChain has exactly two incident segments; it appears where a
+	// loop cut or a bridge left a degree-2 node that was once
+	// distinguished.
+	KindChain
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case KindEnd:
+		return "end"
+	case KindJunction:
+		return "junction"
+	case KindIsolated:
+		return "isolated"
+	case KindChain:
+		return "chain"
+	default:
+		return "unknown-kind"
+	}
+}
+
+// Node is a distinguished skeleton pixel.
+type Node struct {
+	// P is the pixel position.
+	P imaging.Point
+	// Segs lists indices into Graph.Segments of the incident live
+	// segments.
+	Segs []int
+}
+
+// Segment is a maximal pixel path between two nodes. Path[0] is node A's
+// pixel and Path[len-1] is node B's pixel; interior pixels have degree 2.
+type Segment struct {
+	// A and B are node indices; A == B only transiently during
+	// construction (self-loops are cut before Build returns).
+	A, B int
+	// Path is the full pixel path including both node pixels.
+	Path []imaging.Point
+	// Bridge marks a reconnection edge synthesised after
+	// adjacent-junction-vertex removal rather than traced from pixels.
+	Bridge bool
+}
+
+// Len returns the number of pixels of the segment, the "vertices" count
+// the paper's pruning rule speaks of.
+func (s *Segment) Len() int { return len(s.Path) }
+
+// Graph is the contracted skeleton graph. After Build it is always a
+// forest (loop-free); mutating operations preserve that invariant.
+type Graph struct {
+	// Nodes holds the distinguished pixels. Node indices are stable;
+	// removed nodes keep their slot but have no incident segments.
+	Nodes []Node
+	// Segments holds the live segments. Removed segments are excised
+	// from the slice by Compact; during mutation they are marked dead.
+	Segments []Segment
+	// W, H are the dimensions of the source image, kept so the graph
+	// can be rasterised back.
+	W, H int
+
+	dead []bool // parallel to Segments; true = removed
+}
+
+// Options configures Build.
+type Options struct {
+	// RemoveAdjacentJunctions applies step 2 (the paper's
+	// simplification). On by default.
+	RemoveAdjacentJunctions bool
+	// MaxSpanning selects the maximum spanning tree of step 3; when
+	// false a minimum spanning tree is used instead (ablation — the
+	// paper argues max is required).
+	MaxSpanning bool
+	// BridgeRadius bounds reconnection distance; <= 0 disables bridges.
+	BridgeRadius float64
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithAdjacentJunctionRemoval toggles step 2.
+func WithAdjacentJunctionRemoval(v bool) Option {
+	return func(o *Options) { o.RemoveAdjacentJunctions = v }
+}
+
+// WithMaxSpanning toggles maximum (true) versus minimum (false) spanning
+// tree loop cutting.
+func WithMaxSpanning(v bool) Option { return func(o *Options) { o.MaxSpanning = v } }
+
+// WithBridgeRadius overrides the reconnection radius.
+func WithBridgeRadius(r float64) Option { return func(o *Options) { o.BridgeRadius = r } }
+
+// pixelAdjacency builds the raw pixel graph: for every foreground pixel its
+// adjacent foreground pixels under 8-connectivity, with a diagonal link
+// suppressed when the two pixels already share an orthogonal 2-path (the
+// same reduction used by the thinning metrics; it prevents phantom
+// triangle cycles at corners).
+func pixelAdjacency(skel *imaging.Binary) (idx []int32, pts []imaging.Point, adj [][]int32) {
+	idx = make([]int32, len(skel.Pix))
+	for i := range idx {
+		idx[i] = -1
+	}
+	for y := 0; y < skel.H; y++ {
+		for x := 0; x < skel.W; x++ {
+			if skel.Pix[y*skel.W+x] != 0 {
+				idx[y*skel.W+x] = int32(len(pts))
+				pts = append(pts, imaging.Point{X: x, Y: y})
+			}
+		}
+	}
+	at := func(x, y int) bool {
+		return x >= 0 && x < skel.W && y >= 0 && y < skel.H && skel.Pix[y*skel.W+x] != 0
+	}
+	adj = make([][]int32, len(pts))
+	for vi, p := range pts {
+		x, y := p.X, p.Y
+		for _, d := range imaging.Neighbors8 {
+			xx, yy := x+d.X, y+d.Y
+			if !at(xx, yy) {
+				continue
+			}
+			if d.X != 0 && d.Y != 0 {
+				// Diagonal: suppress when an orthogonal 2-path exists.
+				if at(x+d.X, y) || at(x, y+d.Y) {
+					continue
+				}
+			}
+			adj[vi] = append(adj[vi], idx[yy*skel.W+xx])
+		}
+	}
+	return idx, pts, adj
+}
+
+// AdjacentJunctionVertices returns the pixels the paper's simplification
+// removes: vertices with more than one junction vertex (degree >= 3) among
+// their eight neighbours. Exposed for the Figure 3 experiment.
+func AdjacentJunctionVertices(skel *imaging.Binary) []imaging.Point {
+	idx, pts, adj := pixelAdjacency(skel)
+	deg := make([]int, len(pts))
+	for i := range adj {
+		deg[i] = len(adj[i])
+	}
+	var out []imaging.Point
+	for _, p := range pts {
+		n := 0
+		for _, d := range imaging.Neighbors8 {
+			xx, yy := p.X+d.X, p.Y+d.Y
+			if xx < 0 || xx >= skel.W || yy < 0 || yy >= skel.H {
+				continue
+			}
+			if j := idx[yy*skel.W+xx]; j >= 0 && deg[j] >= 3 {
+				n++
+			}
+		}
+		if n > 1 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Build converts a thinned binary image into a loop-free contracted
+// skeleton graph, applying the Section 3 pipeline (simplify → maximum
+// spanning tree loop cut). Pruning is left to the caller (Prune) because
+// the paper treats it as a separate, iterative step.
+func Build(skel *imaging.Binary, opts ...Option) (*Graph, error) {
+	o := Options{
+		RemoveAdjacentJunctions: true,
+		MaxSpanning:             true,
+		BridgeRadius:            DefaultBridgeRadius,
+	}
+	for _, fn := range opts {
+		fn(&o)
+	}
+
+	work := skel
+	if o.RemoveAdjacentJunctions {
+		remove := AdjacentJunctionVertices(skel)
+		if len(remove) > 0 {
+			work = skel.Clone()
+			for _, p := range remove {
+				work.Set(p.X, p.Y, 0)
+			}
+		}
+	}
+
+	idx, pts, adj := pixelAdjacency(work)
+	_ = idx
+	if len(pts) == 0 {
+		return nil, ErrEmptySkeleton
+	}
+
+	g := &Graph{W: skel.W, H: skel.H}
+	g.traceSegments(pts, adj)
+	if o.BridgeRadius > 0 {
+		g.addBridges(o.BridgeRadius)
+	}
+	g.spanningCut(o.MaxSpanning)
+	g.mergeChains()
+	g.Compact()
+	return g, nil
+}
+
+// traceSegments contracts the pixel graph into nodes and segments.
+func (g *Graph) traceSegments(pts []imaging.Point, adj [][]int32) {
+	deg := make([]int, len(pts))
+	for i := range adj {
+		deg[i] = len(adj[i])
+	}
+	// Nodes: every pixel whose degree != 2.
+	nodeOf := make([]int32, len(pts))
+	for i := range nodeOf {
+		nodeOf[i] = -1
+	}
+	for i, d := range deg {
+		if d != 2 {
+			nodeOf[i] = int32(len(g.Nodes))
+			g.Nodes = append(g.Nodes, Node{P: pts[i]})
+		}
+	}
+
+	type edgeKey struct{ a, b int32 }
+	visited := make(map[edgeKey]bool)
+	mark := func(a, b int32) {
+		if a > b {
+			a, b = b, a
+		}
+		visited[edgeKey{a, b}] = true
+	}
+	seen := func(a, b int32) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return visited[edgeKey{a, b}]
+	}
+
+	// Walk each segment starting from every node pixel.
+	for vi := range pts {
+		if nodeOf[vi] < 0 {
+			continue
+		}
+		for _, next := range adj[vi] {
+			if seen(int32(vi), next) {
+				continue
+			}
+			path := []imaging.Point{pts[vi]}
+			prev, cur := int32(vi), next
+			mark(prev, cur)
+			for nodeOf[cur] < 0 {
+				path = append(path, pts[cur])
+				// Degree-2 interior: step to the neighbour that is not prev.
+				var nxt int32 = -1
+				for _, w := range adj[cur] {
+					if w != prev {
+						nxt = w
+						break
+					}
+				}
+				if nxt < 0 {
+					break // dead end; degree data inconsistent, stop
+				}
+				mark(cur, nxt)
+				prev, cur = cur, nxt
+			}
+			if nodeOf[cur] >= 0 {
+				path = append(path, pts[cur])
+				g.addSegment(int(nodeOf[vi]), int(nodeOf[cur]), path, false)
+			}
+		}
+	}
+
+	// Pure cycles: rings whose every pixel has degree 2 contain no node;
+	// break each by promoting an arbitrary pixel to a node and tracing
+	// the ring as a self-loop (cut later by spanningCut).
+	for vi := range pts {
+		if deg[vi] != 2 || nodeOf[vi] >= 0 {
+			continue
+		}
+		// Already traced as part of a segment?
+		if seen(int32(vi), adj[vi][0]) && seen(int32(vi), adj[vi][1]) {
+			continue
+		}
+		nodeOf[vi] = int32(len(g.Nodes))
+		g.Nodes = append(g.Nodes, Node{P: pts[vi]})
+		path := []imaging.Point{pts[vi]}
+		prev, cur := int32(vi), adj[vi][0]
+		mark(prev, cur)
+		for cur != int32(vi) {
+			path = append(path, pts[cur])
+			var nxt int32 = -1
+			for _, w := range adj[cur] {
+				if w != prev {
+					nxt = w
+					break
+				}
+			}
+			if nxt < 0 {
+				break
+			}
+			mark(cur, nxt)
+			prev, cur = cur, nxt
+		}
+		path = append(path, pts[vi])
+		g.addSegment(int(nodeOf[vi]), int(nodeOf[vi]), path, false)
+	}
+}
+
+func (g *Graph) addSegment(a, b int, path []imaging.Point, bridge bool) int {
+	si := len(g.Segments)
+	g.Segments = append(g.Segments, Segment{A: a, B: b, Path: path, Bridge: bridge})
+	g.dead = append(g.dead, false)
+	// A self-loop contributes 2 to its node's degree, so it is listed
+	// twice; unlink removes one occurrence at a time.
+	g.Nodes[a].Segs = append(g.Nodes[a].Segs, si)
+	g.Nodes[b].Segs = append(g.Nodes[b].Segs, si)
+	return si
+}
+
+// addBridges synthesises candidate reconnection edges between every pair of
+// nodes in *different* pixel-connected pieces that lie within radius of
+// each other. The pixel path of a bridge is a straight Bresenham line.
+func (g *Graph) addBridges(radius float64) {
+	// Union-find over current segments to know existing pieces.
+	uf := newUnionFind(len(g.Nodes))
+	for _, s := range g.Segments {
+		uf.union(s.A, s.B)
+	}
+	for i := 0; i < len(g.Nodes); i++ {
+		for j := i + 1; j < len(g.Nodes); j++ {
+			if uf.find(i) == uf.find(j) {
+				continue
+			}
+			pi, pj := g.Nodes[i].P, g.Nodes[j].P
+			dx, dy := float64(pi.X-pj.X), float64(pi.Y-pj.Y)
+			if math.Sqrt(dx*dx+dy*dy) > radius {
+				continue
+			}
+			line := bresenham(pi, pj)
+			g.addSegment(i, j, line, true)
+		}
+	}
+}
+
+// spanningCut keeps a spanning forest of the segment multigraph. With max
+// true (the paper's choice) segments are considered longest-first, so every
+// cycle is cut at its SHORTEST member; with max false the opposite
+// (ablation). A rejected segment is not discarded: its far end is detached
+// onto a fresh end node one pixel short of the old attachment — the "green
+// dot" separation of Figure 3(b) — leaving a dangling branch for the
+// pruning step to judge.
+func (g *Graph) spanningCut(max bool) {
+	order := make([]int, len(g.Segments))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		la, lb := g.Segments[order[a]].Len(), g.Segments[order[b]].Len()
+		if max {
+			return la > lb
+		}
+		return la < lb
+	})
+	uf := newUnionFind(len(g.Nodes))
+	for _, si := range order {
+		s := &g.Segments[si]
+		if uf.union(s.A, s.B) {
+			continue // tree edge, kept intact
+		}
+		// Would close a loop: cut by detaching end B.
+		g.detach(si)
+	}
+}
+
+// detach separates segment si from its B node, re-attaching it to a fresh
+// end node at the pixel just before B on the path. Segments of length < 3
+// (nothing between the nodes) are removed outright.
+func (g *Graph) detach(si int) {
+	s := &g.Segments[si]
+	if s.Len() < 3 {
+		g.removeSegment(si)
+		return
+	}
+	// Unlink from B.
+	g.unlink(s.B, si)
+	s.Path = s.Path[:len(s.Path)-1]
+	ni := len(g.Nodes)
+	g.Nodes = append(g.Nodes, Node{P: s.Path[len(s.Path)-1], Segs: []int{si}})
+	s.B = ni
+}
+
+func (g *Graph) unlink(node, seg int) {
+	list := g.Nodes[node].Segs
+	for i, v := range list {
+		if v == seg {
+			g.Nodes[node].Segs = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+func (g *Graph) removeSegment(si int) {
+	s := g.Segments[si]
+	g.unlink(s.A, si)
+	g.unlink(s.B, si)
+	g.dead[si] = true
+}
+
+// Degree returns the number of live segments incident to node i (a
+// self-loop would count twice, but the build invariant forbids them).
+func (g *Graph) Degree(i int) int { return len(g.Nodes[i].Segs) }
+
+// Kind classifies node i by its current degree.
+func (g *Graph) Kind(i int) NodeKind {
+	switch g.Degree(i) {
+	case 0:
+		return KindIsolated
+	case 1:
+		return KindEnd
+	case 2:
+		return KindChain
+	default:
+		return KindJunction
+	}
+}
+
+// Endpoints returns the indices of all end nodes (degree 1).
+func (g *Graph) Endpoints() []int {
+	var out []int
+	for i := range g.Nodes {
+		if g.Degree(i) == 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Junctions returns the indices of all junction nodes (degree >= 3).
+func (g *Graph) Junctions() []int {
+	var out []int
+	for i := range g.Nodes {
+		if g.Degree(i) >= 3 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// LiveSegments returns the indices of all segments that have not been
+// removed.
+func (g *Graph) LiveSegments() []int {
+	var out []int
+	for i := range g.Segments {
+		if !g.dead[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TotalLength returns the summed pixel count of all live segments
+// (shared node pixels counted once per incident segment).
+func (g *Graph) TotalLength() int {
+	n := 0
+	for i, s := range g.Segments {
+		if !g.dead[i] {
+			n += s.Len()
+		}
+	}
+	return n
+}
+
+// Compact drops dead segments and renumbers; node slots are preserved.
+func (g *Graph) Compact() {
+	remap := make([]int, len(g.Segments))
+	live := g.Segments[:0]
+	liveDead := g.dead[:0]
+	for i := range g.Segments {
+		if g.dead[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(live)
+		live = append(live, g.Segments[i])
+		liveDead = append(liveDead, false)
+	}
+	g.Segments = live
+	g.dead = liveDead
+	for ni := range g.Nodes {
+		segs := g.Nodes[ni].Segs[:0]
+		for _, si := range g.Nodes[ni].Segs {
+			if remap[si] >= 0 {
+				segs = append(segs, remap[si])
+			}
+		}
+		g.Nodes[ni].Segs = segs
+	}
+}
+
+// ToBinary rasterises the live skeleton back into a binary image.
+func (g *Graph) ToBinary() *imaging.Binary {
+	out := imaging.NewBinary(g.W, g.H)
+	for i, s := range g.Segments {
+		if g.dead[i] {
+			continue
+		}
+		for _, p := range s.Path {
+			if p.In(g.W, g.H) {
+				out.Set(p.X, p.Y, 1)
+			}
+		}
+	}
+	for i := range g.Nodes {
+		if g.Degree(i) > 0 {
+			p := g.Nodes[i].P
+			if p.In(g.W, g.H) {
+				out.Set(p.X, p.Y, 1)
+			}
+		}
+	}
+	return out
+}
+
+// IsForest verifies the loop-free invariant: the live segment set contains
+// no cycle.
+func (g *Graph) IsForest() bool {
+	uf := newUnionFind(len(g.Nodes))
+	for i, s := range g.Segments {
+		if g.dead[i] {
+			continue
+		}
+		if !uf.union(s.A, s.B) {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarises the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("skelgraph{nodes=%d segments=%d endpoints=%d junctions=%d len=%d}",
+		len(g.Nodes), len(g.LiveSegments()), len(g.Endpoints()), len(g.Junctions()), g.TotalLength())
+}
+
+// unionFind is a standard disjoint-set with path halving and union by size.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b, reporting whether they were distinct.
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	return true
+}
+
+// bresenham returns the pixel line from a to b inclusive.
+func bresenham(a, b imaging.Point) []imaging.Point {
+	var out []imaging.Point
+	dx := abs(b.X - a.X)
+	dy := -abs(b.Y - a.Y)
+	sx, sy := 1, 1
+	if a.X > b.X {
+		sx = -1
+	}
+	if a.Y > b.Y {
+		sy = -1
+	}
+	err := dx + dy
+	x, y := a.X, a.Y
+	for {
+		out = append(out, imaging.Point{X: x, Y: y})
+		if x == b.X && y == b.Y {
+			return out
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,305 @@
+package skelgraph
+
+import "repro/internal/imaging"
+
+// A branch, per the paper, is "a simple path from an end vertex to a
+// junction vertex". These operations implement the Figure 4 pruning step.
+
+// branch identifies a prunable segment: one end of kind End, the other of
+// kind Junction, shorter than the threshold.
+func (g *Graph) shortBranches(minLen int) []int {
+	var out []int
+	for si := range g.Segments {
+		if g.dead[si] {
+			continue
+		}
+		s := &g.Segments[si]
+		if s.Len() >= minLen {
+			continue
+		}
+		da, db := g.Degree(s.A), g.Degree(s.B)
+		if (da == 1 && db >= 3) || (db == 1 && da >= 3) {
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+// PruneOnce deletes the single shortest noisy branch (length < minLen,
+// running from an end vertex to a junction vertex), then re-merges any
+// junction that dropped to degree 2 so the surviving branches join into
+// longer segments. It reports whether a branch was deleted.
+//
+// Deleting one branch at a time is the paper's explicit rule: "Only one
+// branch can be deleted at a time. Otherwise, both the noisy branch and
+// the correct branch could be removed at the same time."
+func (g *Graph) PruneOnce(minLen int) bool {
+	cands := g.shortBranches(minLen)
+	if len(cands) == 0 {
+		return false
+	}
+	best := cands[0]
+	for _, si := range cands[1:] {
+		if g.Segments[si].Len() < g.Segments[best].Len() {
+			best = si
+		}
+	}
+	g.removeSegment(best)
+	g.mergeChains()
+	return true
+}
+
+// Prune repeatedly applies PruneOnce until no noisy branch remains and
+// returns the number of branches deleted.
+func (g *Graph) Prune(minLen int) int {
+	n := 0
+	for g.PruneOnce(minLen) {
+		n++
+	}
+	g.Compact()
+	return n
+}
+
+// PruneNaive deletes ALL branches shorter than minLen simultaneously — the
+// Figure 4(b) failure mode kept for the ablation experiment. It returns
+// the number of branches deleted.
+func (g *Graph) PruneNaive(minLen int) int {
+	cands := g.shortBranches(minLen)
+	for _, si := range cands {
+		g.removeSegment(si)
+	}
+	g.mergeChains()
+	g.Compact()
+	return len(cands)
+}
+
+// mergeChains joins the two segments of every degree-2 node into one,
+// eliminating chain nodes introduced by pruning or loop cutting.
+func (g *Graph) mergeChains() {
+	for ni := range g.Nodes {
+		for g.Degree(ni) == 2 {
+			s1i, s2i := g.Nodes[ni].Segs[0], g.Nodes[ni].Segs[1]
+			if s1i == s2i {
+				break // self-loop; forbidden by the forest invariant, but stay safe
+			}
+			p1 := orientPathTo(g.Segments[s1i], ni)   // ends at ni
+			p2 := orientPathFrom(g.Segments[s2i], ni) // starts at ni
+			merged := make([]imaging.Point, 0, len(p1)+len(p2)-1)
+			merged = append(merged, p1...)
+			merged = append(merged, p2[1:]...)
+			a := otherEnd(g.Segments[s1i], ni)
+			b := otherEnd(g.Segments[s2i], ni)
+			// Replace s1 with the merged segment, kill s2 and the node.
+			g.unlink(a, s1i)
+			g.unlink(ni, s1i)
+			g.unlink(ni, s2i)
+			g.unlink(b, s2i)
+			g.dead[s2i] = true
+			g.Segments[s1i] = Segment{A: a, B: b, Path: merged,
+				Bridge: g.Segments[s1i].Bridge && g.Segments[s2i].Bridge}
+			g.Nodes[a].Segs = append(g.Nodes[a].Segs, s1i)
+			g.Nodes[b].Segs = append(g.Nodes[b].Segs, s1i)
+		}
+	}
+}
+
+func otherEnd(s Segment, n int) int {
+	if s.A == n {
+		return s.B
+	}
+	return s.A
+}
+
+// orientPathTo returns the segment path oriented so it ENDS at node n.
+func orientPathTo(s Segment, n int) []imaging.Point {
+	if s.B == n {
+		return s.Path
+	}
+	return reversePath(s.Path)
+}
+
+// orientPathFrom returns the segment path oriented so it STARTS at node n.
+func orientPathFrom(s Segment, n int) []imaging.Point {
+	if s.A == n {
+		return s.Path
+	}
+	return reversePath(s.Path)
+}
+
+func reversePath(p []imaging.Point) []imaging.Point {
+	out := make([]imaging.Point, len(p))
+	for i, v := range p {
+		out[len(p)-1-i] = v
+	}
+	return out
+}
+
+// NodePath returns the unique tree path between nodes a and b as a node
+// sequence plus the segments traversed, or ok=false when they lie in
+// different components.
+func (g *Graph) NodePath(a, b int) (nodes []int, segs []int, ok bool) {
+	if a == b {
+		return []int{a}, nil, true
+	}
+	prevNode := make([]int, len(g.Nodes))
+	prevSeg := make([]int, len(g.Nodes))
+	for i := range prevNode {
+		prevNode[i] = -1
+		prevSeg[i] = -1
+	}
+	prevNode[a] = a
+	queue := []int{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, si := range g.Nodes[cur].Segs {
+			if g.dead[si] {
+				continue
+			}
+			nxt := otherEnd(g.Segments[si], cur)
+			if prevNode[nxt] != -1 {
+				continue
+			}
+			prevNode[nxt] = cur
+			prevSeg[nxt] = si
+			if nxt == b {
+				queue = nil
+				break
+			}
+			queue = append(queue, nxt)
+		}
+	}
+	if prevNode[b] == -1 {
+		return nil, nil, false
+	}
+	for cur := b; cur != a; cur = prevNode[cur] {
+		nodes = append(nodes, cur)
+		segs = append(segs, prevSeg[cur])
+	}
+	nodes = append(nodes, a)
+	reverseInts(nodes)
+	reverseInts(segs)
+	return nodes, segs, true
+}
+
+func reverseInts(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// PixelPath returns the full pixel path between nodes a and b, or ok=false
+// when disconnected. The path starts at a's pixel and ends at b's pixel.
+func (g *Graph) PixelPath(a, b int) ([]imaging.Point, bool) {
+	nodes, segs, ok := g.NodePath(a, b)
+	if !ok {
+		return nil, false
+	}
+	out := []imaging.Point{g.Nodes[a].P}
+	for i, si := range segs {
+		p := orientPathFrom(g.Segments[si], nodes[i])
+		out = append(out, p[1:]...)
+	}
+	return out, true
+}
+
+// LongestPath returns the pixel path of the tree diameter (longest simple
+// path by pixel count) of the largest component, plus its two terminal
+// node indices. For a human skeleton this is typically the head-to-foot
+// line. Returns ok=false on a graph with no live segments.
+func (g *Graph) LongestPath() (path []imaging.Point, from, to int, ok bool) {
+	live := g.LiveSegments()
+	if len(live) == 0 {
+		return nil, 0, 0, false
+	}
+	// Double sweep: farthest node from an arbitrary start, then farthest
+	// from that. Weight = pixel length of segments. Correct on trees.
+	start := g.Segments[live[0]].A
+	u, _ := g.farthestFrom(start)
+	v, _ := g.farthestFrom(u)
+	p, pok := g.PixelPath(u, v)
+	if !pok {
+		return nil, 0, 0, false
+	}
+	return p, u, v, true
+}
+
+// farthestFrom returns the node at maximum pixel distance from start in
+// start's component, measured along tree paths.
+func (g *Graph) farthestFrom(start int) (node, dist int) {
+	dists := make([]int, len(g.Nodes))
+	for i := range dists {
+		dists[i] = -1
+	}
+	dists[start] = 0
+	queue := []int{start}
+	best, bestD := start, 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, si := range g.Nodes[cur].Segs {
+			if g.dead[si] {
+				continue
+			}
+			nxt := otherEnd(g.Segments[si], cur)
+			if dists[nxt] != -1 {
+				continue
+			}
+			dists[nxt] = dists[cur] + g.Segments[si].Len() - 1
+			if dists[nxt] > bestD {
+				best, bestD = nxt, dists[nxt]
+			}
+			queue = append(queue, nxt)
+		}
+	}
+	return best, bestD
+}
+
+// Components returns the node sets of each connected component that has at
+// least one live segment or is an isolated node with degree > 0 (i.e.
+// nodes stranded with no segments are skipped).
+func (g *Graph) Components() [][]int {
+	uf := newUnionFind(len(g.Nodes))
+	for i, s := range g.Segments {
+		if !g.dead[i] {
+			uf.union(s.A, s.B)
+		}
+	}
+	groups := make(map[int][]int)
+	for i := range g.Nodes {
+		if g.Degree(i) == 0 {
+			continue
+		}
+		r := uf.find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, v := range groups {
+		out = append(out, v)
+	}
+	return out
+}
+
+// LargestComponentNodes returns the node indices of the component with the
+// greatest total pixel length, or nil when the graph is empty.
+func (g *Graph) LargestComponentNodes() []int {
+	comps := g.Components()
+	var best []int
+	bestLen := -1
+	for _, nodes := range comps {
+		inComp := make(map[int]bool, len(nodes))
+		for _, n := range nodes {
+			inComp[n] = true
+		}
+		total := 0
+		for si, s := range g.Segments {
+			if !g.dead[si] && inComp[s.A] {
+				total += s.Len()
+			}
+		}
+		if total > bestLen {
+			bestLen, best = total, nodes
+		}
+	}
+	return best
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Calibration measures how trustworthy the classifier's posterior
+// probabilities are: predictions are binned by confidence and each bin's
+// empirical accuracy is compared with its mean confidence. A perfectly
+// calibrated classifier has accuracy == confidence in every bin; the
+// expected calibration error (ECE) is the weighted mean absolute gap.
+//
+// The paper thresholds posteriors (Th_Pose) without examining their
+// reliability; this analysis makes the threshold choice inspectable.
+type Calibration struct {
+	bins  int
+	count []int
+	conf  []float64
+	hit   []int
+}
+
+// NewCalibration builds an empty reliability diagram with the given
+// number of confidence bins (>= 2).
+func NewCalibration(bins int) (*Calibration, error) {
+	if bins < 2 {
+		return nil, fmt.Errorf("stats: calibration needs >= 2 bins, got %d", bins)
+	}
+	return &Calibration{
+		bins:  bins,
+		count: make([]int, bins),
+		conf:  make([]float64, bins),
+		hit:   make([]int, bins),
+	}, nil
+}
+
+// Add records one prediction with its confidence (clamped to [0,1]) and
+// whether it was correct.
+func (c *Calibration) Add(confidence float64, correct bool) {
+	if confidence < 0 {
+		confidence = 0
+	} else if confidence > 1 {
+		confidence = 1
+	}
+	b := int(confidence * float64(c.bins))
+	if b >= c.bins {
+		b = c.bins - 1
+	}
+	c.count[b]++
+	c.conf[b] += confidence
+	if correct {
+		c.hit[b]++
+	}
+}
+
+// Total returns the number of recorded predictions.
+func (c *Calibration) Total() int {
+	n := 0
+	for _, v := range c.count {
+		n += v
+	}
+	return n
+}
+
+// ECE returns the expected calibration error in [0,1]; 0 for an empty
+// diagram.
+func (c *Calibration) ECE() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	ece := 0.0
+	for b := 0; b < c.bins; b++ {
+		if c.count[b] == 0 {
+			continue
+		}
+		acc := float64(c.hit[b]) / float64(c.count[b])
+		avg := c.conf[b] / float64(c.count[b])
+		gap := acc - avg
+		if gap < 0 {
+			gap = -gap
+		}
+		ece += gap * float64(c.count[b]) / float64(total)
+	}
+	return ece
+}
+
+// Table renders the reliability diagram.
+func (c *Calibration) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %12s %10s\n", "confidence", "n", "mean conf", "accuracy")
+	for i := 0; i < c.bins; i++ {
+		lo := float64(i) / float64(c.bins)
+		hi := float64(i+1) / float64(c.bins)
+		if c.count[i] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "[%.2f,%.2f) %8d %11.2f %9.2f\n",
+			lo, hi, c.count[i],
+			c.conf[i]/float64(c.count[i]),
+			float64(c.hit[i])/float64(c.count[i]))
+	}
+	fmt.Fprintf(&b, "expected calibration error: %.3f\n", c.ECE())
+	return b.String()
+}

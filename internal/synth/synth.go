@@ -1,0 +1,480 @@
+// Package synth is the data substrate of the reproduction: the paper's
+// video clips (children performing standing long jumps in a studio with a
+// black background) are unobtainable, so this package generates the
+// closest synthetic equivalent — an articulated 2-D body model
+// choreographed through a complete jump, rendered as filled capsules over
+// a noisy dark backdrop, with exact per-frame ground-truth labels.
+//
+// The generated frames drive the identical code path the paper describes
+// (RGB frame → Section 2 background subtraction → Section 3 thinning and
+// graph clean-up → Section 4 DBN), and the noise knobs reproduce the
+// artefact classes the paper fights: silhouette holes and ridged edges
+// (sensor noise), noisy skeleton branches (limb dropout speckle) and
+// loops (limbs touching the body).
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/imaging"
+	"repro/internal/pose"
+)
+
+// Default clip geometry: QVGA-ish frames, body about half the frame tall,
+// clips of roughly the paper's "about 40 frames".
+const (
+	DefaultWidth    = 320
+	DefaultHeight   = 200
+	DefaultBodyPx   = 95.0
+	DefaultNoise    = 6.0
+	DefaultJitter   = 0.05
+	DefaultJumpSpan = 110.0 // horizontal distance covered in flight, px
+	DefaultAirRise  = 28.0  // apex height of the hip above standing, px
+)
+
+// ErrBadSpec reports an invalid clip specification.
+var ErrBadSpec = errors.New("synth: invalid clip spec")
+
+// Shape holds the capsule radii of the rendered body, as fractions of the
+// body height.
+type Shape struct {
+	Head     float64
+	Torso    float64
+	UpperArm float64
+	Forearm  float64
+	Thigh    float64
+	Shin     float64
+	Foot     float64
+}
+
+// DefaultShape returns plausible limb thicknesses.
+func DefaultShape() Shape {
+	return Shape{
+		Head:     0.068,
+		Torso:    0.058,
+		UpperArm: 0.026,
+		Forearm:  0.022,
+		Thigh:    0.042,
+		Shin:     0.032,
+		Foot:     0.020,
+	}
+}
+
+// RenderSilhouette rasterises the body into a fresh w×h binary mask.
+// It is shared by the clip generator, the GA baseline's fitness function
+// and the figure experiments.
+func RenderSilhouette(s pose.Skeleton2D, shape Shape, height float64, w, h int) *imaging.Binary {
+	out := imaging.NewBinary(w, h)
+	DrawSilhouette(out, s, shape, height)
+	return out
+}
+
+// DrawSilhouette rasterises the body into an existing mask (adds
+// foreground; does not clear).
+func DrawSilhouette(dst *imaging.Binary, s pose.Skeleton2D, shape Shape, height float64) {
+	imaging.FillCapsule(dst, s.Hip, s.Shoulder, shape.Torso*height)
+	imaging.FillDisc(dst, s.Head, shape.Head*height)
+	imaging.FillCapsule(dst, s.Shoulder, s.Elbow, shape.UpperArm*height)
+	imaging.FillCapsule(dst, s.Elbow, s.Hand, shape.Forearm*height)
+	imaging.FillCapsule(dst, s.Hip, s.Knee, shape.Thigh*height)
+	imaging.FillCapsule(dst, s.Knee, s.Ankle, shape.Shin*height)
+	imaging.FillCapsule(dst, s.Ankle, s.Toe, shape.Foot*height)
+}
+
+// Step is one segment of a jump script: hold a pose for N frames.
+type Step struct {
+	Pose   pose.Pose
+	Frames int
+}
+
+// DefaultScript returns the standard (correct) jump choreography,
+// ~40 frames like the paper's clips.
+func DefaultScript() []Step {
+	return []Step{
+		{pose.StandHandsAtSides, 3},
+		{pose.StandHandsForward, 3},
+		{pose.StandHandsBackward, 2},
+		{pose.CrouchHandsBackward, 3},
+		{pose.CrouchHandsForward, 2},
+		{pose.TakeoffExtension, 2},
+		{pose.TakeoffLean, 2},
+		{pose.TakeoffToeOff, 2},
+		{pose.AirAscendArmsUp, 2},
+		{pose.AirTuck, 3},
+		{pose.AirExtendForward, 2},
+		{pose.AirDescendLegsForward, 2},
+		{pose.AirArmsDownLegsForward, 2},
+		{pose.LandHeelStrike, 2},
+		{pose.LandCrouch, 3},
+		{pose.LandDeepCrouch, 2},
+		{pose.LandStandUp, 2},
+		{pose.LandStand, 3},
+	}
+}
+
+// FaultyScript returns a jump containing the given fault. Supported
+// faults: AirArch (replaces the tuck), LandFallBack (replaces the
+// absorption crouch), LandStepForward (replaces the stand-up). Other
+// poses return the default script unchanged.
+func FaultyScript(fault pose.Pose) []Step {
+	script := DefaultScript()
+	switch fault {
+	case pose.AirArch:
+		for i := range script {
+			if script[i].Pose == pose.AirTuck {
+				script[i].Pose = pose.AirArch
+			}
+		}
+	case pose.LandFallBack:
+		for i := range script {
+			if script[i].Pose == pose.LandCrouch || script[i].Pose == pose.LandDeepCrouch {
+				script[i].Pose = pose.LandFallBack
+			}
+		}
+	case pose.LandStepForward:
+		for i := range script {
+			if script[i].Pose == pose.LandStandUp {
+				script[i].Pose = pose.LandStepForward
+			}
+		}
+	}
+	return script
+}
+
+// ScriptFrames returns the total frame count of a script.
+func ScriptFrames(script []Step) int {
+	n := 0
+	for _, st := range script {
+		n += st.Frames
+	}
+	return n
+}
+
+// Spec configures clip generation. Use DefaultSpec as the base.
+type Spec struct {
+	// Width, Height are the frame dimensions.
+	Width, Height int
+	// BodyPx is the body height in pixels.
+	BodyPx float64
+	// Script is the choreography; defaults to DefaultScript().
+	Script []Step
+	// Seed drives all stochastic choices; equal specs yield equal clips.
+	Seed int64
+	// NoiseSigma is the per-channel Gaussian sensor noise.
+	NoiseSigma float64
+	// JitterAmp is the per-frame joint-angle jitter (radians).
+	JitterAmp float64
+	// JumpSpan is the horizontal flight distance in pixels.
+	JumpSpan float64
+	// AirRise is the apex hip rise during flight in pixels.
+	AirRise float64
+	// HoleRate is the probability per figure pixel of a dropout hole in
+	// the rendered frame (exercises the median filter).
+	HoleRate float64
+	// Mirror renders the jump right-to-left (the camera on the jumper's
+	// other side); consumers must auto-orient or mis-encode every frame.
+	Mirror bool
+	// Distractor adds a moving ball rolling along the floor — a second
+	// foreground object the extraction stage must reject.
+	Distractor bool
+	// Shape is the limb thickness profile.
+	Shape Shape
+	// Proportions is the segment length profile.
+	Proportions pose.Proportions
+}
+
+// DefaultSpec returns the standard generation parameters with the given
+// seed.
+func DefaultSpec(seed int64) Spec {
+	return Spec{
+		Width:       DefaultWidth,
+		Height:      DefaultHeight,
+		BodyPx:      DefaultBodyPx,
+		Script:      DefaultScript(),
+		Seed:        seed,
+		NoiseSigma:  DefaultNoise,
+		JitterAmp:   DefaultJitter,
+		JumpSpan:    DefaultJumpSpan,
+		AirRise:     DefaultAirRise,
+		HoleRate:    0.002,
+		Shape:       DefaultShape(),
+		Proportions: pose.DefaultProportions(),
+	}
+}
+
+// Frame is one generated video frame with its ground truth.
+type Frame struct {
+	// Image is the rendered RGB frame (figure over backdrop, with noise).
+	Image *imaging.RGB
+	// Silhouette is the exact noise-free figure mask (ground truth for
+	// extraction quality metrics).
+	Silhouette *imaging.Binary
+	// Label is the ground-truth pose.
+	Label pose.Pose
+	// Stage is the ground-truth jump stage.
+	Stage pose.Stage
+	// Skeleton is the ground-truth joint configuration.
+	Skeleton pose.Skeleton2D
+}
+
+// Clip is a generated video clip.
+type Clip struct {
+	// Background is the clean backdrop frame (what the paper's system
+	// captures before the jumper enters).
+	Background *imaging.RGB
+	// Frames are the clip frames in order.
+	Frames []Frame
+	// Spec records the generation parameters.
+	Spec Spec
+}
+
+// Labels returns the per-frame ground-truth poses.
+func (c *Clip) Labels() []pose.Pose {
+	out := make([]pose.Pose, len(c.Frames))
+	for i, f := range c.Frames {
+		out[i] = f.Label
+	}
+	return out
+}
+
+// Generate renders a complete clip from the spec.
+func Generate(spec Spec) (*Clip, error) {
+	if spec.Width <= 0 || spec.Height <= 0 {
+		return nil, fmt.Errorf("%w: dimensions %dx%d", ErrBadSpec, spec.Width, spec.Height)
+	}
+	if spec.BodyPx <= 10 {
+		return nil, fmt.Errorf("%w: body height %v too small", ErrBadSpec, spec.BodyPx)
+	}
+	if len(spec.Script) == 0 {
+		spec.Script = DefaultScript()
+	}
+	if spec.Shape == (Shape{}) {
+		spec.Shape = DefaultShape()
+	}
+	if spec.Proportions == (pose.Proportions{}) {
+		spec.Proportions = pose.DefaultProportions()
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+
+	bg := renderBackground(spec, r)
+	clip := &Clip{Background: bg, Spec: spec}
+
+	// Flatten the script into per-frame poses and stages.
+	type frameInfo struct {
+		p     pose.Pose
+		stage pose.Stage
+		// next pose for transition blending, and position within hold
+		next pose.Pose
+		tIn  float64 // 0..1 progress within this pose's hold
+	}
+	var infos []frameInfo
+	stage := pose.StageBeforeJump
+	for si, st := range spec.Script {
+		if !st.Pose.Valid() {
+			return nil, fmt.Errorf("%w: step %d pose %v", ErrBadSpec, si, st.Pose)
+		}
+		if st.Frames <= 0 {
+			return nil, fmt.Errorf("%w: step %d has %d frames", ErrBadSpec, si, st.Frames)
+		}
+		next := st.Pose
+		if si+1 < len(spec.Script) {
+			next = spec.Script[si+1].Pose
+		}
+		stage = pose.NextStage(stage, st.Pose)
+		for k := 0; k < st.Frames; k++ {
+			infos = append(infos, frameInfo{
+				p: st.Pose, stage: stage, next: next,
+				tIn: float64(k) / float64(st.Frames),
+			})
+		}
+	}
+
+	// Flight window for the ballistic trajectory.
+	airStart, airEnd := -1, -1
+	for i, fi := range infos {
+		if fi.stage == pose.StageAir {
+			if airStart < 0 {
+				airStart = i
+			}
+			airEnd = i
+		}
+	}
+
+	groundY := float64(spec.Height) - 8 // floor line
+	startX := float64(spec.Width) * 0.22
+	landX := startX + spec.JumpSpan
+
+	for i, fi := range infos {
+		// Joint angles: canonical + blend toward the next pose late in
+		// the hold + jitter.
+		a := pose.Angles(fi.p)
+		if fi.tIn > 0.5 && fi.next != fi.p {
+			a = pose.Lerp(a, pose.Angles(fi.next), (fi.tIn-0.5)*0.5)
+		}
+		a = jitter(a, r, spec.JitterAmp)
+
+		// Horizontal root position.
+		x := startX
+		switch {
+		case airStart >= 0 && i >= airStart && i <= airEnd:
+			t := float64(i-airStart+1) / float64(airEnd-airStart+2)
+			x = startX + t*spec.JumpSpan
+		case airEnd >= 0 && i > airEnd:
+			x = landX
+		case fi.stage == pose.StageJump:
+			x = startX + 4 // small forward shift at takeoff
+		}
+
+		// Vertical: place the root so the lowest joint touches the
+		// floor, then lift ballistically while airborne.
+		s := pose.Compute(imaging.Pointf{X: x, Y: 0}, spec.BodyPx, a, spec.Proportions)
+		dy := groundY - s.Lowest().Y
+		if airStart >= 0 && i >= airStart && i <= airEnd {
+			t := float64(i-airStart+1) / float64(airEnd-airStart+2)
+			dy -= spec.AirRise * 4 * t * (1 - t)
+		}
+		s = pose.Compute(imaging.Pointf{X: x, Y: dy}, spec.BodyPx, a, spec.Proportions)
+
+		sil := RenderSilhouette(s, spec.Shape, spec.BodyPx, spec.Width, spec.Height)
+		img := composite(bg, sil, s, spec, r)
+		if spec.Distractor {
+			addDistractor(img, i, len(infos), spec, r)
+		}
+		if spec.Mirror {
+			sil = sil.FlipH()
+			img = img.FlipH()
+			s = mirrorSkeleton(s, spec.Width)
+		}
+		clip.Frames = append(clip.Frames, Frame{
+			Image:      img,
+			Silhouette: sil,
+			Label:      fi.p,
+			Stage:      fi.stage,
+			Skeleton:   s,
+		})
+	}
+	return clip, nil
+}
+
+// jitter perturbs every joint angle uniformly within ±amp.
+func jitter(a pose.JointAngles, r *rand.Rand, amp float64) pose.JointAngles {
+	j := func(v float64) float64 { return v + (r.Float64()*2-1)*amp }
+	return pose.JointAngles{
+		TorsoLean: j(a.TorsoLean), Neck: j(a.Neck), Shoulder: j(a.Shoulder),
+		Elbow: j(a.Elbow), Hip: j(a.Hip), Knee: j(a.Knee), Ankle: j(a.Ankle),
+	}
+}
+
+// renderBackground paints the dark studio backdrop: near-black with a mild
+// vertical lighting gradient and per-pixel noise.
+func renderBackground(spec Spec, r *rand.Rand) *imaging.RGB {
+	bg := imaging.NewRGB(spec.Width, spec.Height)
+	for y := 0; y < spec.Height; y++ {
+		base := 8 + 10*float64(y)/float64(spec.Height) // floor slightly brighter
+		for x := 0; x < spec.Width; x++ {
+			v := base + r.NormFloat64()*2
+			bg.Set(x, y, clamp8(v), clamp8(v), clamp8(v+2))
+		}
+	}
+	return bg
+}
+
+// composite paints the clothed figure over the backdrop with sensor noise,
+// lighting flicker and dropout holes.
+func composite(bg *imaging.RGB, sil *imaging.Binary, s pose.Skeleton2D, spec Spec, r *rand.Rand) *imaging.RGB {
+	img := bg.Clone()
+	flick := 1 + r.NormFloat64()*0.02 // temporal lighting flicker
+
+	// Region masks for clothing colours: repaint in depth order.
+	h := spec.BodyPx
+	paint := func(mask *imaging.Binary, cr, cg, cb float64) {
+		for i, v := range mask.Pix {
+			if v == 0 {
+				continue
+			}
+			if spec.HoleRate > 0 && r.Float64() < spec.HoleRate {
+				continue // dropout hole: backdrop shows through
+			}
+			n := r.NormFloat64() * spec.NoiseSigma
+			img.Pix[3*i] = clamp8((cr + n) * flick)
+			img.Pix[3*i+1] = clamp8((cg + n) * flick)
+			img.Pix[3*i+2] = clamp8((cb + n) * flick)
+		}
+	}
+	legs := imaging.NewBinary(sil.W, sil.H)
+	imaging.FillCapsule(legs, s.Hip, s.Knee, spec.Shape.Thigh*h)
+	imaging.FillCapsule(legs, s.Knee, s.Ankle, spec.Shape.Shin*h)
+	imaging.FillCapsule(legs, s.Ankle, s.Toe, spec.Shape.Foot*h)
+	// Trousers must contrast clearly with the dark backdrop, as the
+	// paper's studio setup ensures ("the light sources can be controlled
+	// and are more stable"); too-dark trousers would sit at the
+	// extraction threshold and make the legs flicker in and out.
+	paint(legs, 95, 115, 185) // blue trousers
+
+	torso := imaging.NewBinary(sil.W, sil.H)
+	imaging.FillCapsule(torso, s.Hip, s.Shoulder, spec.Shape.Torso*h)
+	paint(torso, 190, 80, 70) // red shirt
+
+	arms := imaging.NewBinary(sil.W, sil.H)
+	imaging.FillCapsule(arms, s.Shoulder, s.Elbow, spec.Shape.UpperArm*h)
+	imaging.FillCapsule(arms, s.Elbow, s.Hand, spec.Shape.Forearm*h)
+	paint(arms, 200, 160, 135) // skin
+
+	head := imaging.NewBinary(sil.W, sil.H)
+	imaging.FillDisc(head, s.Head, spec.Shape.Head*h)
+	paint(head, 205, 165, 140) // skin
+
+	// Global sensor noise over the whole frame.
+	if spec.NoiseSigma > 0 {
+		for i := range img.Pix {
+			img.Pix[i] = clamp8(float64(img.Pix[i]) + r.NormFloat64()*spec.NoiseSigma/2)
+		}
+	}
+	return img
+}
+
+// mirrorSkeleton reflects every joint across the vertical centre line.
+func mirrorSkeleton(s pose.Skeleton2D, width int) pose.Skeleton2D {
+	m := func(p imaging.Pointf) imaging.Pointf {
+		return imaging.Pointf{X: float64(width-1) - p.X, Y: p.Y}
+	}
+	return pose.Skeleton2D{
+		Hip: m(s.Hip), Chest: m(s.Chest), Shoulder: m(s.Shoulder),
+		Head: m(s.Head), Elbow: m(s.Elbow), Hand: m(s.Hand),
+		Knee: m(s.Knee), Ankle: m(s.Ankle), Toe: m(s.Toe),
+	}
+}
+
+// addDistractor paints a small bright ball rolling along the floor from
+// right to left, out of the jumper's path.
+func addDistractor(img *imaging.RGB, frame, total int, spec Spec, r *rand.Rand) {
+	t := float64(frame) / float64(total)
+	cx := float64(spec.Width) * (0.95 - 0.25*t)
+	cy := float64(spec.Height) - 10
+	rad := 4.0
+	mask := imaging.NewBinary(img.W, img.H)
+	imaging.FillDisc(mask, imaging.Pointf{X: cx, Y: cy}, rad)
+	for i, v := range mask.Pix {
+		if v == 0 {
+			continue
+		}
+		n := r.NormFloat64() * spec.NoiseSigma / 2
+		img.Pix[3*i] = clamp8(230 + n)
+		img.Pix[3*i+1] = clamp8(220 + n)
+		img.Pix[3*i+2] = clamp8(90 + n)
+	}
+}
+
+func clamp8(v float64) uint8 {
+	switch {
+	case v <= 0:
+		return 0
+	case v >= 255:
+		return 255
+	default:
+		return uint8(math.Round(v))
+	}
+}

@@ -1,0 +1,359 @@
+package synth
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/extract"
+	"repro/internal/imaging"
+	"repro/internal/pose"
+)
+
+func TestScriptFrames(t *testing.T) {
+	if n := ScriptFrames(DefaultScript()); n < 30 || n > 60 {
+		t.Errorf("default script = %d frames, want ~40 like the paper's clips", n)
+	}
+	if ScriptFrames(nil) != 0 {
+		t.Error("empty script should have 0 frames")
+	}
+}
+
+func TestDefaultScriptCoversAllStages(t *testing.T) {
+	seen := map[pose.Stage]bool{}
+	stage := pose.StageBeforeJump
+	for _, st := range DefaultScript() {
+		stage = pose.NextStage(stage, st.Pose)
+		seen[stage] = true
+	}
+	for s := pose.StageBeforeJump; s <= pose.StageLanding; s++ {
+		if !seen[s] {
+			t.Errorf("default script never reaches stage %v", s)
+		}
+	}
+}
+
+func TestDefaultScriptStagesAreOrdered(t *testing.T) {
+	// Pose canonical stages in the script must be non-decreasing.
+	last := pose.StageBeforeJump
+	for _, st := range DefaultScript() {
+		s := pose.StageOf(st.Pose)
+		if s < last {
+			t.Fatalf("script pose %v (stage %v) after stage %v", st.Pose, s, last)
+		}
+		last = s
+	}
+}
+
+func TestFaultyScripts(t *testing.T) {
+	for _, fault := range []pose.Pose{pose.AirArch, pose.LandFallBack, pose.LandStepForward} {
+		script := FaultyScript(fault)
+		found := false
+		for _, st := range script {
+			if st.Pose == fault {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("FaultyScript(%v) does not contain the fault", fault)
+		}
+		if ScriptFrames(script) != ScriptFrames(DefaultScript()) {
+			t.Errorf("FaultyScript(%v) changed the frame count", fault)
+		}
+	}
+	// Non-fault poses leave the script untouched.
+	script := FaultyScript(pose.AirTuck)
+	def := DefaultScript()
+	for i := range script {
+		if script[i] != def[i] {
+			t.Fatal("FaultyScript with non-fault pose modified the script")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"zero width", func(s *Spec) { s.Width = 0 }},
+		{"negative height", func(s *Spec) { s.Height = -1 }},
+		{"tiny body", func(s *Spec) { s.BodyPx = 5 }},
+		{"bad pose", func(s *Spec) { s.Script = []Step{{Pose: pose.PoseUnknown, Frames: 2}} }},
+		{"zero frames", func(s *Spec) { s.Script = []Step{{Pose: pose.AirTuck, Frames: 0}} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			spec := DefaultSpec(1)
+			tt.mut(&spec)
+			if _, err := Generate(spec); !errors.Is(err, ErrBadSpec) {
+				t.Errorf("err = %v, want ErrBadSpec", err)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Frames) != len(b.Frames) {
+		t.Fatal("frame counts differ")
+	}
+	for i := range a.Frames {
+		if !a.Frames[i].Silhouette.Equal(b.Frames[i].Silhouette) {
+			t.Fatalf("frame %d silhouettes differ for equal seeds", i)
+		}
+		for k := range a.Frames[i].Image.Pix {
+			if a.Frames[i].Image.Pix[k] != b.Frames[i].Image.Pix[k] {
+				t.Fatalf("frame %d pixels differ for equal seeds", i)
+			}
+		}
+	}
+	c, err := Generate(DefaultSpec(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Frames {
+		if !a.Frames[i].Silhouette.Equal(c.Frames[i].Silhouette) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical clips")
+	}
+}
+
+func TestGenerateFrameCountAndLabels(t *testing.T) {
+	clip, err := Generate(DefaultSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clip.Frames) != ScriptFrames(DefaultScript()) {
+		t.Fatalf("frames = %d, want %d", len(clip.Frames), ScriptFrames(DefaultScript()))
+	}
+	labels := clip.Labels()
+	if len(labels) != len(clip.Frames) {
+		t.Fatal("Labels length mismatch")
+	}
+	// First frame is the standing reset pose; last is standing after
+	// landing.
+	if labels[0] != pose.StandHandsAtSides {
+		t.Errorf("first label = %v", labels[0])
+	}
+	if labels[len(labels)-1] != pose.LandStand {
+		t.Errorf("last label = %v", labels[len(labels)-1])
+	}
+	// Stages must be monotonically non-decreasing.
+	last := pose.StageBeforeJump
+	for i, f := range clip.Frames {
+		if f.Stage < last {
+			t.Fatalf("frame %d stage %v regressed from %v", i, f.Stage, last)
+		}
+		last = f.Stage
+	}
+	if last != pose.StageLanding {
+		t.Errorf("final stage = %v, want landing", last)
+	}
+}
+
+func TestGenerateFigureOnScreenAndGrounded(t *testing.T) {
+	spec := DefaultSpec(3)
+	clip, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groundY := float64(spec.Height) - 8
+	for i, f := range clip.Frames {
+		b := f.Silhouette.ForegroundBounds()
+		if b.Empty() {
+			t.Fatalf("frame %d: empty silhouette", i)
+		}
+		if b.Min.X < 0 || b.Max.X > spec.Width || b.Min.Y < 0 || b.Max.Y > spec.Height {
+			t.Fatalf("frame %d: silhouette out of frame: %v", i, b)
+		}
+		low := f.Skeleton.Lowest().Y
+		if f.Stage != pose.StageAir {
+			// Grounded frames: lowest joint on the floor line (±2 px).
+			if low < groundY-2 || low > groundY+2 {
+				t.Errorf("frame %d (%v): lowest joint %v off the floor %v", i, f.Stage, low, groundY)
+			}
+		} else if low > groundY-1 {
+			t.Errorf("air frame %d: lowest joint %v not airborne", i, low)
+		}
+	}
+}
+
+func TestGenerateMovesForward(t *testing.T) {
+	clip, err := Generate(DefaultSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstX := clip.Frames[0].Skeleton.Hip.X
+	lastX := clip.Frames[len(clip.Frames)-1].Skeleton.Hip.X
+	if lastX-firstX < DefaultJumpSpan*0.8 {
+		t.Errorf("hip moved %v px, want ≈ %v (the jump distance)", lastX-firstX, DefaultJumpSpan)
+	}
+}
+
+func TestGeneratedFramesExtractable(t *testing.T) {
+	// End-to-end with the Section 2 extractor: the silhouette recovered
+	// from the noisy RGB frame must substantially overlap the ground
+	// truth. This is the core substitution-validity check.
+	spec := DefaultSpec(11)
+	clip, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := extract.NewExtractor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetBackground(clip.Background)
+	for _, i := range []int{0, len(clip.Frames) / 2, len(clip.Frames) - 1} {
+		f := clip.Frames[i]
+		mask, err := e.Extract(f.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inter, union := 0, 0
+		for k := range mask.Pix {
+			a, b := mask.Pix[k] != 0, f.Silhouette.Pix[k] != 0
+			if a && b {
+				inter++
+			}
+			if a || b {
+				union++
+			}
+		}
+		if union == 0 {
+			t.Fatalf("frame %d: nothing extracted", i)
+		}
+		iou := float64(inter) / float64(union)
+		if iou < 0.75 {
+			t.Errorf("frame %d: extraction IoU = %.2f, want >= 0.75", i, iou)
+		}
+	}
+}
+
+func TestHolesAppearWithHoleRate(t *testing.T) {
+	spec := DefaultSpec(13)
+	spec.HoleRate = 0.01
+	clip, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count figure pixels whose frame colour is backdrop-dark in the
+	// middle frame: dropout holes must exist.
+	f := clip.Frames[len(clip.Frames)/2]
+	holes := 0
+	for i, v := range f.Silhouette.Pix {
+		if v == 0 {
+			continue
+		}
+		r, g, b := f.Image.Pix[3*i], f.Image.Pix[3*i+1], f.Image.Pix[3*i+2]
+		if int(r)+int(g)+int(b) < 90 {
+			holes++
+		}
+	}
+	if holes == 0 {
+		t.Error("HoleRate produced no dropout holes")
+	}
+}
+
+func TestRenderSilhouetteConnected(t *testing.T) {
+	for _, p := range pose.AllPoses() {
+		s := pose.Compute(imaging.Pointf{X: 160, Y: 110}, 95, pose.Angles(p), pose.DefaultProportions())
+		sil := RenderSilhouette(s, DefaultShape(), 95, 320, 200)
+		_, comps := imaging.Components(sil, imaging.Connect8)
+		if len(comps) != 1 {
+			t.Errorf("pose %v renders %d components, want 1 (body must be contiguous)", p, len(comps))
+		}
+	}
+}
+
+func TestBackgroundIsDark(t *testing.T) {
+	clip, err := Generate(DefaultSpec(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, v := range clip.Background.Pix {
+		sum += int(v)
+	}
+	mean := float64(sum) / float64(len(clip.Background.Pix))
+	if mean > 30 {
+		t.Errorf("backdrop mean intensity = %.1f, want dark (< 30)", mean)
+	}
+}
+
+func TestMirroredClip(t *testing.T) {
+	spec := DefaultSpec(71)
+	spec.Mirror = true
+	clip, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hip must move in -X across the clip.
+	firstX := clip.Frames[0].Skeleton.Hip.X
+	lastX := clip.Frames[len(clip.Frames)-1].Skeleton.Hip.X
+	if lastX >= firstX {
+		t.Errorf("mirrored jump hip moved %v -> %v, want decreasing", firstX, lastX)
+	}
+	// The mirrored ground-truth skeleton must agree with the mirrored
+	// silhouette: the head should sit inside foreground.
+	fr := clip.Frames[len(clip.Frames)/2]
+	h := fr.Skeleton.Head.Round()
+	if !h.In(spec.Width, spec.Height) || fr.Silhouette.At(h.X, h.Y) != 1 {
+		t.Errorf("mirrored skeleton head %v not on the mirrored silhouette", h)
+	}
+}
+
+func TestDistractorVisibleButSeparate(t *testing.T) {
+	spec := DefaultSpec(72)
+	spec.Distractor = true
+	clip, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ball is in the image but NOT in the ground-truth silhouette.
+	fr := clip.Frames[len(clip.Frames)/2]
+	found := false
+	for y := spec.Height - 16; y < spec.Height; y++ {
+		for x := 0; x < spec.Width; x++ {
+			r, g, b := fr.Image.At(x, y)
+			if r > 180 && g > 170 && b < 140 && fr.Silhouette.At(x, y) == 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("distractor ball not visible in the frame")
+	}
+}
+
+func TestSinglePoseScript(t *testing.T) {
+	spec := DefaultSpec(73)
+	spec.Script = []Step{{Pose: pose.StandHandsForward, Frames: 4}}
+	clip, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clip.Frames) != 4 {
+		t.Fatalf("frames = %d", len(clip.Frames))
+	}
+	for _, f := range clip.Frames {
+		if f.Label != pose.StandHandsForward {
+			t.Fatal("wrong label")
+		}
+		if f.Stage != pose.StageBeforeJump {
+			t.Fatal("wrong stage")
+		}
+	}
+}

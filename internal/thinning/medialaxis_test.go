@@ -1,0 +1,206 @@
+package thinning
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/imaging"
+)
+
+func TestDistanceTransformEmpty(t *testing.T) {
+	d := DistanceTransform(imaging.NewBinary(5, 5))
+	for _, v := range d {
+		if v != 0 {
+			t.Fatal("empty image should be all zeros")
+		}
+	}
+}
+
+func TestDistanceTransformSinglePixel(t *testing.T) {
+	b := imaging.NewBinary(5, 5)
+	b.Set(2, 2, 1)
+	d := DistanceTransform(b)
+	if d[2*5+2] != chamferOrtho {
+		t.Errorf("isolated pixel distance = %d, want %d", d[2*5+2], chamferOrtho)
+	}
+}
+
+func TestDistanceTransformMatchesBruteForce(t *testing.T) {
+	// Property: the 3-4 chamfer distance equals the brute-force minimum
+	// chamfer path length (within the exactness of the two-pass
+	// algorithm, which is exact for the 3-4 mask).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w, h := 8+r.Intn(8), 8+r.Intn(8)
+		b := imaging.NewBinary(w, h)
+		for i := range b.Pix {
+			if r.Float64() < 0.6 {
+				b.Pix[i] = 1
+			}
+		}
+		d := DistanceTransform(b)
+		// Brute force with Dijkstra-like relaxation (iterate to fixpoint).
+		const inf = int32(1 << 30)
+		ref := make([]int32, w*h)
+		for i, v := range b.Pix {
+			if v != 0 {
+				ref[i] = inf
+			}
+		}
+		at := func(x, y int) int32 {
+			if x < 0 || x >= w || y < 0 || y >= h {
+				return 0
+			}
+			return ref[y*w+x]
+		}
+		for changed := true; changed; {
+			changed = false
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					i := y*w + x
+					if ref[i] == 0 {
+						continue
+					}
+					for _, n := range imaging.Neighbors8 {
+						step := int32(chamferOrtho)
+						if n.X != 0 && n.Y != 0 {
+							step = chamferDiag
+						}
+						if v := at(x+n.X, y+n.Y) + step; v < ref[i] {
+							ref[i] = v
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		for i := range d {
+			if d[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTransformInterior(t *testing.T) {
+	// Solid 7-wide bar: the centre column is 3 orthogonal steps + ...
+	// centre of a 7x7 block away from the border by 4 pixels => 4*3=12?
+	// Middle pixel of a 7x7 solid block sits 3+1 pixels from outside:
+	// distance = 4 steps of 3 = 12.
+	b := imaging.NewBinary(9, 9)
+	for y := 1; y <= 7; y++ {
+		for x := 1; x <= 7; x++ {
+			b.Set(x, y, 1)
+		}
+	}
+	d := DistanceTransform(b)
+	if got := d[4*9+4]; got != 12 {
+		t.Errorf("centre distance = %d, want 12", got)
+	}
+	if got := d[1*9+1]; got != chamferOrtho {
+		t.Errorf("corner distance = %d, want %d", got, chamferOrtho)
+	}
+}
+
+func TestMedialAxisOfBar(t *testing.T) {
+	// A long horizontal bar's medial axis is (approximately) its centre
+	// line.
+	b := imaging.NewBinary(40, 11)
+	for y := 2; y <= 8; y++ {
+		for x := 2; x < 38; x++ {
+			b.Set(x, y, 1)
+		}
+	}
+	ma := Thin(b, MedialAxis)
+	if ma.Count() == 0 {
+		t.Fatal("empty medial axis")
+	}
+	// Away from the ends (where the true medial axis forks diagonally to
+	// the corners), axis pixels must lie on the centre rows (5 ± 1).
+	for _, p := range ma.Points() {
+		if p.X >= 9 && p.X <= 30 && (p.Y < 4 || p.Y > 6) {
+			t.Errorf("medial axis pixel %v off the centre line", p)
+		}
+	}
+	// It must span most of the bar horizontally.
+	bounds := ma.ForegroundBounds()
+	if bounds.Dx() < 25 {
+		t.Errorf("medial axis spans only %d px of a 36 px bar", bounds.Dx())
+	}
+}
+
+func TestMedialAxisSubsetOfShape(t *testing.T) {
+	b := imaging.NewBinary(30, 30)
+	imaging.FillDisc(b, imaging.Pointf{X: 15, Y: 15}, 9)
+	ma := Thin(b, MedialAxis)
+	for i := range ma.Pix {
+		if ma.Pix[i] == 1 && b.Pix[i] == 0 {
+			t.Fatal("medial axis escaped the shape")
+		}
+	}
+}
+
+func TestMedialAxisDoesNotModifyInput(t *testing.T) {
+	b := imaging.NewBinary(20, 20)
+	imaging.FillDisc(b, imaging.Pointf{X: 10, Y: 10}, 6)
+	want := b.Clone()
+	Thin(b, MedialAxis)
+	if !b.Equal(want) {
+		t.Fatal("MedialAxis mutated its input")
+	}
+}
+
+func TestMedialAxisFragmentsMoreThanZS(t *testing.T) {
+	// The documented weakness: on a noisy-boundary shape the medial axis
+	// tends to fragment into more components (or at least never fewer)
+	// than the Z-S skeleton.
+	r := rand.New(rand.NewSource(12))
+	b := imaging.NewBinary(80, 40)
+	for y := 10; y < 30; y++ {
+		for x := 10; x < 70; x++ {
+			b.Set(x, y, 1)
+		}
+	}
+	// Boundary noise.
+	for i := 0; i < 80; i++ {
+		x := 10 + r.Intn(60)
+		if r.Intn(2) == 0 {
+			b.Set(x, 9, 1)
+		} else {
+			b.Set(x, 30, 1)
+		}
+	}
+	zs := Measure(Thin(b, ZhangSuen))
+	ma := Measure(Thin(b, MedialAxis))
+	if ma.Components < zs.Components {
+		t.Errorf("medial axis (%d comps) unexpectedly more connected than Z-S (%d)",
+			ma.Components, zs.Components)
+	}
+}
+
+func TestMedialAxisAlgorithmString(t *testing.T) {
+	if MedialAxis.String() != "medial-axis" {
+		t.Errorf("String = %q", MedialAxis.String())
+	}
+}
+
+func BenchmarkDistanceTransform(b *testing.B) {
+	img := solidRect(160, 120, 20, 10, 140, 110)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DistanceTransform(img)
+	}
+}
+
+func BenchmarkThinMedialAxis(b *testing.B) {
+	img := solidRect(160, 120, 20, 10, 140, 110)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Thin(img, MedialAxis)
+	}
+}

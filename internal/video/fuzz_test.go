@@ -1,0 +1,43 @@
+package video
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/imaging"
+)
+
+// FuzzReader guards the Y4M parser: malformed streams must error, never
+// panic, and valid prefixes must decode consistently.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteClip(&buf, []*imaging.RGB{imaging.NewRGB(2, 2)}, 25); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("YUV4MPEG2 W2 H2 F25:1 C444\nFRAME\n")
+	f.Add("YUV4MPEG2 W0 H2 C444\n")
+	f.Add("garbage")
+	f.Add("YUV4MPEG2 W99999999 H99999999 C444\nFRAME\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		vr, err := NewReader(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for {
+			m, err := vr.ReadFrame()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if len(m.Pix) != 3*m.W*m.H {
+				t.Fatal("reader produced inconsistent frame")
+			}
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package video
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/imaging"
+	"repro/internal/synth"
+)
+
+func randFrame(w, h int, seed int64) *imaging.RGB {
+	r := rand.New(rand.NewSource(seed))
+	m := imaging.NewRGB(w, h)
+	for i := range m.Pix {
+		m.Pix[i] = uint8(r.Intn(256))
+	}
+	return m
+}
+
+func TestNewWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, 0, 10, 25, 1); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewWriter(&buf, 10, 10, 0, 1); err == nil {
+		t.Error("zero fps accepted")
+	}
+}
+
+func TestRoundTripApproximate(t *testing.T) {
+	frames := []*imaging.RGB{randFrame(32, 24, 1), randFrame(32, 24, 2), randFrame(32, 24, 3)}
+	var buf bytes.Buffer
+	if err := WriteClip(&buf, frames, 25); err != nil {
+		t.Fatal(err)
+	}
+	vr, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, h := vr.Size(); w != 32 || h != 24 {
+		t.Fatalf("size = %dx%d", w, h)
+	}
+	if n, d := vr.FrameRate(); n != 25 || d != 1 {
+		t.Fatalf("fps = %d:%d", n, d)
+	}
+	got, err := vr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("frames = %d, want %d", len(got), len(frames))
+	}
+	// YCbCr round trip is lossy by at most a couple of levels.
+	for fi := range frames {
+		for i := range frames[fi].Pix {
+			d := int(frames[fi].Pix[i]) - int(got[fi].Pix[i])
+			if d < -3 || d > 3 {
+				t.Fatalf("frame %d byte %d: |%d - %d| > 3", fi, i, frames[fi].Pix[i], got[fi].Pix[i])
+			}
+		}
+	}
+}
+
+func TestSecondRoundTripIsExact(t *testing.T) {
+	// Once through the colour space, a second encode/decode must be
+	// lossless (the conversion is idempotent on its range).
+	var buf bytes.Buffer
+	if err := WriteClip(&buf, []*imaging.RGB{randFrame(16, 16, 9)}, 30); err != nil {
+		t.Fatal(err)
+	}
+	vr, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once, err := vr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteClip(&buf2, once, 30); err != nil {
+		t.Fatal(err)
+	}
+	vr2, err := NewReader(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := vr2.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range once[0].Pix {
+		d := int(once[0].Pix[i]) - int(twice[0].Pix[i])
+		if d < -1 || d > 1 {
+			t.Fatalf("byte %d drifted by %d on second round trip", i, d)
+		}
+	}
+}
+
+func TestWriteFrameDimensionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	vw, err := NewWriter(&buf, 16, 16, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vw.WriteFrame(imaging.NewRGB(8, 8)); !errors.Is(err, imaging.ErrDimensionMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReaderHeaderErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		data string
+	}{
+		{"empty", ""},
+		{"bad signature", "MPEG4 W8 H8 C444\n"},
+		{"missing dims", "YUV4MPEG2 F25:1 C444\n"},
+		{"bad width", "YUV4MPEG2 Wx H8 C444\n"},
+		{"bad rate", "YUV4MPEG2 W8 H8 F25 C444\n"},
+		{"unsupported chroma", "YUV4MPEG2 W8 H8 F25:1 C420\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewReader(strings.NewReader(tt.data)); !errors.Is(err, ErrBadHeader) {
+				t.Errorf("err = %v, want ErrBadHeader", err)
+			}
+		})
+	}
+}
+
+func TestReaderFrameErrors(t *testing.T) {
+	// Valid header, corrupt frame marker.
+	data := "YUV4MPEG2 W2 H2 F25:1 C444\nBOGUS\n"
+	vr, err := NewReader(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vr.ReadFrame(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v, want ErrBadFrame", err)
+	}
+	// Truncated planes.
+	data2 := "YUV4MPEG2 W2 H2 F25:1 C444\nFRAME\nxx"
+	vr2, err := NewReader(strings.NewReader(data2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vr2.ReadFrame(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestReadFrameEOF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteClip(&buf, []*imaging.RGB{randFrame(4, 4, 2)}, 25); err != nil {
+		t.Fatal(err)
+	}
+	vr, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vr.ReadFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vr.ReadFrame(); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestWriteClipEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteClip(&buf, nil, 25); err == nil {
+		t.Error("empty clip accepted")
+	}
+}
+
+func TestSyntheticClipToY4M(t *testing.T) {
+	spec := synth.DefaultSpec(31)
+	spec.Script = spec.Script[:3]
+	clip, err := synth.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([]*imaging.RGB, len(clip.Frames))
+	for i, f := range clip.Frames {
+		frames[i] = f.Image
+	}
+	var buf bytes.Buffer
+	if err := WriteClip(&buf, frames, 25); err != nil {
+		t.Fatal(err)
+	}
+	vr, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("frames = %d, want %d", len(got), len(frames))
+	}
+	// The stream must carry the expected signature for external tools.
+	if !strings.HasPrefix(buf.String(), "YUV4MPEG2 W") {
+		// buf was consumed by the reader; rebuild to check.
+		var buf2 bytes.Buffer
+		if err := WriteClip(&buf2, frames[:1], 25); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(buf2.String(), "YUV4MPEG2 W") {
+			t.Error("stream missing YUV4MPEG2 signature")
+		}
+	}
+}
