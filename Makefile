@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench experiments figures fuzz clean
+.PHONY: all build vet test race test-race bench bench-json experiments figures fuzz clean
 
 all: build vet test
 
@@ -16,8 +16,18 @@ test:
 race:
 	go test -race ./internal/extract/ ./internal/bayes/ ./internal/dbn/ ./internal/track/ .
 
+# Full race sweep — every package, including the parallel engine's golden
+# tests. Slower than `race`; run before merging concurrency changes.
+test-race:
+	go test -race -timeout 45m ./...
+
 bench:
 	go test -bench=. -benchmem ./...
+
+# Snapshot the whole benchmark suite (ns/op, B/op, allocs/op) into a
+# dated JSON file for before/after perf comparisons.
+bench-json:
+	go test -bench . -benchmem -run '^$$' ./... | tee bench_output.txt | go run ./cmd/benchjson > BENCH_$$(date +%F).json
 
 # Regenerate every paper figure/result at full size (see DESIGN.md §4).
 experiments:

@@ -227,12 +227,18 @@ func (s *System) AnalyzeSilhouette(sil *imaging.Binary) FrameAnalysis {
 	if s.opts.FrontEnd == FrontEndGA {
 		return s.analyzeGA(fa, sil)
 	}
-	skel := thinning.Thin(sil, s.opts.Thinning)
+	// The raw thinning result is only an intermediate: once the graph is
+	// built, the reported skeleton is re-rasterised from the graph. Run it
+	// through the imaging buffer pool so per-frame analysis does not
+	// allocate a fresh image per frame. On the error path the buffer
+	// escapes into fa.Skeleton and is simply never returned to the pool.
+	skel := thinning.ThinInto(imaging.GetBinary(sil.W, sil.H), sil, s.opts.Thinning)
 	g, err := skelgraph.Build(skel)
 	if err != nil {
 		fa.Skeleton = skel
 		return fa
 	}
+	imaging.PutBinary(skel)
 	g.Prune(s.opts.PruneLen)
 	fa.Graph = g
 	fa.Skeleton = g.ToBinary()
@@ -310,8 +316,13 @@ func (s *System) analyzeClip(lc dataset.LabeledClip) ([]FrameAnalysis, error) {
 	return out, nil
 }
 
-// clipSilhouettes extracts (or fetches) the per-frame silhouettes.
-func (s *System) clipSilhouettes(lc dataset.LabeledClip) ([]*imaging.Binary, error) {
+// silhouetteSource prepares per-frame silhouette production for a clip:
+// it installs the clip background (when extracting) and returns a closure
+// yielding frame i's silhouette. The closure is stateful — ROI tracking
+// feeds each silhouette back into the tracker — so it must be called with
+// i = 0, 1, 2, ... in order, from a single goroutine. Both the batch path
+// (clipSilhouettes) and the Engine's pipelined path drive it.
+func (s *System) silhouetteSource(lc dataset.LabeledClip) (func(i int) (*imaging.Binary, error), error) {
 	if !s.opts.UseGroundTruthSilhouettes {
 		if lc.Clip.Background == nil {
 			return nil, fmt.Errorf("slj: clip %s has no background frame: %w", lc.Name, ErrNoBackground)
@@ -323,17 +334,16 @@ func (s *System) clipSilhouettes(lc dataset.LabeledClip) ([]*imaging.Binary, err
 	// (a crouch extending to full height adds ~35 px at one end).
 	const roiMargin = 48
 	var tr *track.Tracker
-	if s.opts.UseROITracking {
+	if s.opts.UseROITracking && !s.opts.UseGroundTruthSilhouettes {
 		tr = track.DefaultTracker()
 	}
-	out := make([]*imaging.Binary, 0, len(lc.Clip.Frames))
-	for i, fr := range lc.Clip.Frames {
+	return func(i int) (*imaging.Binary, error) {
+		fr := lc.Clip.Frames[i]
 		if s.opts.UseGroundTruthSilhouettes {
 			if fr.Silhouette == nil {
 				return nil, fmt.Errorf("slj: clip %s frame %d has no ground-truth silhouette", lc.Name, i)
 			}
-			out = append(out, fr.Silhouette)
-			continue
+			return fr.Silhouette, nil
 		}
 		var sil *imaging.Binary
 		var err error
@@ -351,6 +361,22 @@ func (s *System) clipSilhouettes(lc dataset.LabeledClip) ([]*imaging.Binary, err
 		}
 		if err != nil {
 			return nil, fmt.Errorf("slj: clip %s frame %d: %w", lc.Name, i, err)
+		}
+		return sil, nil
+	}, nil
+}
+
+// clipSilhouettes extracts (or fetches) the per-frame silhouettes.
+func (s *System) clipSilhouettes(lc dataset.LabeledClip) ([]*imaging.Binary, error) {
+	src, err := s.silhouetteSource(lc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*imaging.Binary, 0, len(lc.Clip.Frames))
+	for i := range lc.Clip.Frames {
+		sil, err := src(i)
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, sil)
 	}

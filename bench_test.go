@@ -6,6 +6,7 @@
 package slj_test
 
 import (
+	"fmt"
 	"testing"
 
 	slj "repro"
@@ -112,6 +113,78 @@ func BenchmarkJumpMeasurement(b *testing.B) { runExperiment(b, "jump") }
 
 // BenchmarkCV regenerates the k-fold cross-validation summary.
 func BenchmarkCV(b *testing.B) { runExperiment(b, "cv") }
+
+// --- parallel evaluation engine -------------------------------------------
+
+// benchTrainedEngine builds a dataset and a trained engine with the given
+// worker count, shared classifier, fresh extractor per worker.
+func benchTrainedEngine(b *testing.B, workers int) (*slj.Engine, *dataset.Dataset) {
+	b.Helper()
+	ds, err := dataset.Generate(dataset.GenOptions{TrainClips: 2, TestClips: 2, Seed: 11, VaryBody: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := slj.NewEngine(workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Train(ds.Train); err != nil {
+		b.Fatal(err)
+	}
+	return eng, ds
+}
+
+// BenchmarkEvaluateSequential measures the paper-faithful sequential
+// System.Evaluate over the test split — the baseline the parallel engine
+// is compared against.
+func BenchmarkEvaluateSequential(b *testing.B) {
+	eng, ds := benchTrainedEngine(b, 1)
+	sys := eng.System()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.Evaluate(ds.Test); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateParallel measures Engine.Evaluate at several worker
+// counts. Output is bit-identical to BenchmarkEvaluateSequential's at
+// every setting; on a w-core machine the clip fan-out approaches a w-fold
+// speedup until the serial DBN decode dominates.
+func BenchmarkEvaluateParallel(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng, ds := benchTrainedEngine(b, w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.Evaluate(ds.Test); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClassifyClipPipelined measures the two-stage frame pipeline of
+// Engine.ClassifyClip (extraction overlapping skeleton analysis) against
+// the batch path.
+func BenchmarkClassifyClipPipelined(b *testing.B) {
+	for _, w := range []int{1, 2} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng, ds := benchTrainedEngine(b, w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.ClassifyClip(ds.Test[0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // --- micro-benchmarks of the pipeline stages ------------------------------
 

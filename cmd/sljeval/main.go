@@ -29,6 +29,7 @@ func main() {
 		data    = flag.String("data", "", "dataset directory written by sljgen (required)")
 		model   = flag.String("model", "", "trained model from sljtrain (optional; trains in-process when empty)")
 		viterbi = flag.Bool("viterbi", false, "also report joint Viterbi decoding (the EXT3 extension)")
+		workers = flag.Int("workers", 1, "clip-evaluation workers (1 sequential, 0 or -1 all CPUs); results are identical at any setting")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -40,16 +41,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := slj.NewSystem()
+	eng, err := slj.NewEngine(*workers)
 	if err != nil {
 		log.Fatal(err)
 	}
+	sys := eng.System()
 	if *model != "" {
 		f, err := os.Open(*model)
 		if err != nil {
 			log.Fatal(err)
 		}
-		err = sys.LoadModel(f)
+		err = eng.LoadModel(f)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
@@ -58,12 +60,12 @@ func main() {
 		if len(ds.Train) == 0 {
 			log.Fatal("no training clips in dataset and no -model given")
 		}
-		if err := sys.Train(ds.Train); err != nil {
+		if err := eng.Train(ds.Train); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	sum, conf, err := sys.Evaluate(ds.Test)
+	sum, conf, err := eng.Evaluate(ds.Test)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -28,10 +28,11 @@ func main() {
 		seed      = flag.Int64("seed", 2008, "experiment seed")
 		quick     = flag.Bool("quick", false, "reduced workloads")
 		artifacts = flag.String("artifacts", "", "directory for figure image/dot artifacts (optional)")
+		workers   = flag.Int("workers", 0, "clip-evaluation workers for sec5/cv (0 sequential, -1 all CPUs); results are identical at any setting")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, ArtifactDir: *artifacts}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, ArtifactDir: *artifacts, Workers: *workers}
 	names := experiments.Names()
 	if *exp != "all" {
 		names = strings.Split(*exp, ",")

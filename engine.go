@@ -1,0 +1,264 @@
+package slj
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/dbn"
+	"repro/internal/extract"
+	"repro/internal/imaging"
+	"repro/internal/keypoint"
+	"repro/internal/parallel"
+	"repro/internal/stats"
+)
+
+// Engine drives a System across many clips on a pool of workers. The
+// vision front end (extraction → thinning → skeleton graph → key-point
+// encoding) is stateless across clips, so clips fan out over the pool;
+// the DBN back end is temporal — each frame's posterior conditions on the
+// previous frame's pose — so every clip is still decoded serially by one
+// worker, and training consumes clip sequences in their original order.
+// Results are therefore bit-identical to the sequential System methods
+// regardless of worker count, and workers == 1 routes through the
+// unchanged sequential code paths.
+//
+// Each worker owns a private extractor (extract.Extractor carries scratch
+// buffers and is not safe for concurrent use) but all workers share one
+// classifier bank: DBN inference is read-only, and only Train mutates it,
+// from the calling goroutine. Engine methods are safe to call from
+// multiple goroutines, except Train and LoadModel, which mutate the
+// shared model and must not run concurrently with anything else.
+type Engine struct {
+	workers int
+	sys     *System
+	systems []*System    // len == workers; systems[0] == sys
+	free    chan *System // worker checkout; buffered to len(systems)
+}
+
+// NewEngine builds a System from opts (as NewSystem would) and wraps it
+// in an Engine with the given worker count. workers < 1 selects
+// runtime.NumCPU().
+func NewEngine(workers int, opts ...Option) (*Engine, error) {
+	sys, err := NewSystem(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngineFrom(sys, workers)
+}
+
+// NewEngineFrom wraps an existing — possibly already trained — System.
+// The System must not be used directly while the Engine is active.
+func NewEngineFrom(sys *System, workers int) (*Engine, error) {
+	w := parallel.Workers(workers)
+	e := &Engine{workers: w, sys: sys}
+	e.systems = make([]*System, w)
+	e.systems[0] = sys
+	for i := 1; i < w; i++ {
+		clone, err := sys.clone()
+		if err != nil {
+			return nil, err
+		}
+		e.systems[i] = clone
+	}
+	e.free = make(chan *System, w)
+	for _, s := range e.systems {
+		e.free <- s
+	}
+	return e, nil
+}
+
+// clone returns a System sharing s's options and classifier bank but
+// owning a fresh extractor, so one Engine worker can run independently.
+func (s *System) clone() (*System, error) {
+	ex, err := extract.NewExtractor(s.opts.Extractor...)
+	if err != nil {
+		return nil, fmt.Errorf("slj: %w", err)
+	}
+	return &System{opts: s.opts, extractor: ex, classifier: s.classifier}, nil
+}
+
+// Workers reports the resolved worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// System returns the primary underlying System (shared classifier).
+func (e *Engine) System() *System { return e.sys }
+
+func (e *Engine) acquire() *System  { return <-e.free }
+func (e *Engine) release(s *System) { e.free <- s }
+
+// Train trains the shared classifier on every clip. The front-end
+// analysis of the clips fans out over the worker pool; the resulting
+// labelled sequences are then fed to the DBN bank serially, in clip
+// order, because training updates depend on sequence order. The trained
+// model is byte-identical to System.Train's.
+func (e *Engine) Train(clips []dataset.LabeledClip) error {
+	if len(clips) == 0 {
+		return errors.New("slj: no training clips")
+	}
+	if e.workers <= 1 {
+		return e.sys.Train(clips)
+	}
+	seqs, err := parallel.MapOrdered(e.workers, clips,
+		func(_ int, lc dataset.LabeledClip) ([]dbn.LabeledFrame, error) {
+			s := e.acquire()
+			defer e.release(s)
+			fas, err := s.analyzeClip(lc)
+			if err != nil {
+				return nil, err
+			}
+			frames := make([]dbn.LabeledFrame, len(fas))
+			for j, fa := range fas {
+				frames[j] = dbn.LabeledFrame{Label: lc.Clip.Frames[j].Label, Enc: fa.Encoding}
+			}
+			return frames, nil
+		})
+	if err != nil {
+		return err
+	}
+	for ci, frames := range seqs {
+		if err := e.sys.classifier.TrainSequence(frames); err != nil {
+			return fmt.Errorf("slj: training on %s: %w", clips[ci].Name, err)
+		}
+	}
+	return nil
+}
+
+// Evaluate classifies every test clip on the worker pool and scores the
+// results against ground truth. Classification fans out; the summary and
+// confusion matrix are accumulated in clip order afterwards, so the
+// output matches System.Evaluate exactly.
+func (e *Engine) Evaluate(clips []dataset.LabeledClip) (stats.Summary, *stats.Confusion, error) {
+	if e.workers <= 1 {
+		return e.sys.Evaluate(clips)
+	}
+	preds, err := parallel.MapOrdered(e.workers, clips,
+		func(_ int, lc dataset.LabeledClip) ([]dbn.Result, error) {
+			s := e.acquire()
+			defer e.release(s)
+			return s.ClassifyClip(lc)
+		})
+	if err != nil {
+		return stats.Summary{}, nil, err
+	}
+	var sum stats.Summary
+	var conf stats.Confusion
+	for ci, results := range preds {
+		lc := clips[ci]
+		pred := Poses(results)
+		truth := lc.Clip.Labels()
+		cr, err := stats.EvaluateClip(lc.Name, truth, pred)
+		if err != nil {
+			return stats.Summary{}, nil, fmt.Errorf("slj: %w", err)
+		}
+		sum.Add(cr)
+		for i := range truth {
+			conf.Add(truth[i], pred[i])
+		}
+	}
+	return sum, &conf, nil
+}
+
+// ClassifyAll decodes every clip on the worker pool, returning per-clip
+// frame results in input order.
+func (e *Engine) ClassifyAll(clips []dataset.LabeledClip) ([][]dbn.Result, error) {
+	if e.workers <= 1 {
+		out := make([][]dbn.Result, len(clips))
+		for i, lc := range clips {
+			res, err := e.sys.ClassifyClip(lc)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+	return parallel.MapOrdered(e.workers, clips,
+		func(_ int, lc dataset.LabeledClip) ([]dbn.Result, error) {
+			s := e.acquire()
+			defer e.release(s)
+			return s.ClassifyClip(lc)
+		})
+}
+
+// ClassifyClip decodes one clip. With more than one worker the per-frame
+// front end runs as a bounded two-stage pipeline (silhouette production,
+// then thinning + graph + encoding) so extraction of frame i+1 overlaps
+// analysis of frame i; DBN decoding stays serial. AutoOrient needs every
+// silhouette before its mirror decision, so it falls back to the batch
+// path.
+func (e *Engine) ClassifyClip(lc dataset.LabeledClip) ([]dbn.Result, error) {
+	s := e.acquire()
+	defer e.release(s)
+	if e.workers <= 1 || s.opts.AutoOrient {
+		return s.ClassifyClip(lc)
+	}
+	return s.classifyClipPipelined(lc)
+}
+
+// SaveModel serialises the shared classifier bank.
+func (e *Engine) SaveModel(w io.Writer) error { return e.sys.SaveModel(w) }
+
+// LoadModel replaces the shared classifier on every worker.
+func (e *Engine) LoadModel(r io.Reader) error {
+	if err := e.sys.LoadModel(r); err != nil {
+		return err
+	}
+	for _, s := range e.systems[1:] {
+		s.classifier = e.sys.classifier
+		s.opts.Partitions = e.sys.opts.Partitions
+		s.opts.Rings = e.sys.opts.Rings
+	}
+	return nil
+}
+
+// frameToken carries one frame through the two-stage analysis pipeline.
+type frameToken struct {
+	sil *imaging.Binary
+	fa  FrameAnalysis
+}
+
+// pipelineBound caps the frames in flight between pipeline stages,
+// bounding the number of live silhouette buffers per clip.
+const pipelineBound = 4
+
+// classifyClipPipelined is ClassifyClip with the per-frame front end run
+// as a bounded-channel pipeline. Stage 1 (silhouette production) is
+// stateful — the ROI tracker conditions on the previous frame — and runs
+// in a single goroutine in frame order, exactly like the batch path;
+// stage 2 (skeleton analysis) is pure per-frame. Outputs are collected in
+// frame order, so results match the sequential decoder bit for bit.
+func (s *System) classifyClipPipelined(lc dataset.LabeledClip) ([]dbn.Result, error) {
+	src, err := s.silhouetteSource(lc)
+	if err != nil {
+		return nil, err
+	}
+	toks := make([]frameToken, len(lc.Clip.Frames))
+	out, err := parallel.Pipeline(pipelineBound, toks,
+		func(i int, t frameToken) (frameToken, error) {
+			sil, err := src(i)
+			if err != nil {
+				return t, err
+			}
+			t.sil = sil
+			return t, nil
+		},
+		func(_ int, t frameToken) (frameToken, error) {
+			t.fa = s.AnalyzeSilhouette(t.sil)
+			return t, nil
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	encs := make([]keypoint.Encoding, len(out))
+	for i, t := range out {
+		encs[i] = t.fa.Encoding
+	}
+	res, err := s.classifier.ClassifySequence(encs)
+	if err != nil {
+		return nil, fmt.Errorf("slj: classifying %s: %w", lc.Name, err)
+	}
+	return res, nil
+}

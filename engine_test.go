@@ -1,0 +1,175 @@
+package slj
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// trainGolden trains a sequential System on ds.Train and returns the
+// serialised model plus the system itself.
+func trainGolden(t *testing.T, ds *Dataset, opts ...Option) (*System, []byte) {
+	t.Helper()
+	sys, err := NewSystem(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Train(ds.Train); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return sys, buf.Bytes()
+}
+
+func TestEngineTrainMatchesSequential(t *testing.T) {
+	ds := smallDataset(t, 61)
+	_, want := trainGolden(t, ds)
+	for _, workers := range []int{1, 2, 8} {
+		eng, err := NewEngine(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Train(ds.Train); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := eng.SaveModel(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("workers=%d: trained model differs from sequential", workers)
+		}
+	}
+}
+
+func TestEngineEvaluateMatchesSequential(t *testing.T) {
+	ds := smallDataset(t, 62)
+	sys, model := trainGolden(t, ds)
+	wantSum, wantConf, err := sys.Evaluate(ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		eng, err := NewEngine(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.LoadModel(bytes.NewReader(model)); err != nil {
+			t.Fatal(err)
+		}
+		sum, conf, err := eng.Evaluate(ds.Test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sum, wantSum) {
+			t.Errorf("workers=%d: summary differs from sequential", workers)
+		}
+		if !reflect.DeepEqual(*conf, *wantConf) {
+			t.Errorf("workers=%d: confusion matrix differs from sequential", workers)
+		}
+	}
+}
+
+func TestEngineClassifyClipMatchesSequential(t *testing.T) {
+	ds := smallDataset(t, 63)
+	_, model := trainGolden(t, ds)
+	variants := []struct {
+		name string
+		opts []Option
+	}{
+		{"default", nil},
+		{"roi-tracking", []Option{WithROITracking(true)}},
+		{"ground-truth-sils", []Option{WithGroundTruthSilhouettes(true)}},
+		{"auto-orient", []Option{WithAutoOrient(true)}}, // batch fallback path
+	}
+	for _, v := range variants {
+		seq, err := NewSystem(v.opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := seq.LoadModel(bytes.NewReader(model)); err != nil {
+			t.Fatal(err)
+		}
+		lc := ds.Test[0]
+		want, err := seq.ClassifyClip(lc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			eng, err := NewEngine(workers, v.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.LoadModel(bytes.NewReader(model)); err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.ClassifyClip(lc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s workers=%d: clip results differ from sequential", v.name, workers)
+			}
+		}
+	}
+}
+
+func TestEngineClassifyAllMatchesSequential(t *testing.T) {
+	ds := smallDataset(t, 64)
+	sys, model := trainGolden(t, ds)
+	want := make([][]Result, len(ds.Test))
+	for i, lc := range ds.Test {
+		res, err := sys.ClassifyClip(lc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	eng, err := NewEngine(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadModel(bytes.NewReader(model)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.ClassifyAll(ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("ClassifyAll differs from sequential per-clip classification")
+	}
+}
+
+func TestEngineWorkersResolution(t *testing.T) {
+	eng, err := NewEngine(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Workers() != 3 {
+		t.Errorf("Workers() = %d, want 3", eng.Workers())
+	}
+	auto, err := NewEngine(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Workers() < 1 {
+		t.Errorf("auto worker count = %d, want >= 1", auto.Workers())
+	}
+	if auto.System() == nil {
+		t.Error("System() returned nil")
+	}
+}
+
+func TestEngineTrainRequiresClips(t *testing.T) {
+	eng, err := NewEngine(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Train(nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+}

@@ -49,14 +49,14 @@ func CV(cfg Config) (CVResult, error) {
 				train = append(train, lc)
 			}
 		}
-		sys, err := slj.NewSystem()
+		eng, err := slj.NewEngine(cfg.workersOrSequential())
 		if err != nil {
 			return CVResult{}, err
 		}
-		if err := sys.Train(train); err != nil {
+		if err := eng.Train(train); err != nil {
 			return CVResult{}, err
 		}
-		sum, _, err := sys.Evaluate(test)
+		sum, _, err := eng.Evaluate(test)
 		if err != nil {
 			return CVResult{}, err
 		}

@@ -204,14 +204,17 @@ func Sec5(cfg Config) (Sec5Result, error) {
 	res := Sec5Result{TrainClips: len(ds.Train), TestClips: len(ds.Test)}
 	res.TrainFrames, res.TestFrames = ds.TotalFrames()
 
-	sys, err := slj.NewSystem()
+	// The worker-pool engine fans clip training analysis and evaluation
+	// out over cfg.Workers; results are bit-identical to the sequential
+	// path at any worker count.
+	eng, err := slj.NewEngine(cfg.workersOrSequential())
 	if err != nil {
 		return Sec5Result{}, err
 	}
-	if err := sys.Train(ds.Train); err != nil {
+	if err := eng.Train(ds.Train); err != nil {
 		return Sec5Result{}, err
 	}
-	sum, conf, err := sys.Evaluate(ds.Test)
+	sum, conf, err := eng.Evaluate(ds.Test)
 	if err != nil {
 		return Sec5Result{}, err
 	}
@@ -222,12 +225,12 @@ func Sec5(cfg Config) (Sec5Result, error) {
 	if err != nil {
 		return Sec5Result{}, err
 	}
-	for _, lc := range ds.Test {
-		results, err := sys.ClassifyClip(lc)
-		if err != nil {
-			return Sec5Result{}, err
-		}
-		for i, r := range results {
+	allResults, err := eng.ClassifyAll(ds.Test)
+	if err != nil {
+		return Sec5Result{}, err
+	}
+	for ci, lc := range ds.Test {
+		for i, r := range allResults[ci] {
 			if r.Pose == 0 {
 				continue // rejected frames carry no accepted posterior
 			}
@@ -239,14 +242,14 @@ func Sec5(cfg Config) (Sec5Result, error) {
 	// Ablation: thresholds off (argmax decision, no Unknown).
 	cfgNoTh := dbn.DefaultConfig()
 	cfgNoTh.ThPose, cfgNoTh.ThDefault = 0, 0
-	sysNoTh, err := slj.NewSystem(slj.WithClassifierConfig(cfgNoTh))
+	engNoTh, err := slj.NewEngine(cfg.workersOrSequential(), slj.WithClassifierConfig(cfgNoTh))
 	if err != nil {
 		return Sec5Result{}, err
 	}
-	if err := sysNoTh.Train(ds.Train); err != nil {
+	if err := engNoTh.Train(ds.Train); err != nil {
 		return Sec5Result{}, err
 	}
-	sumNoTh, _, err := sysNoTh.Evaluate(ds.Test)
+	sumNoTh, _, err := engNoTh.Evaluate(ds.Test)
 	if err != nil {
 		return Sec5Result{}, err
 	}

@@ -27,10 +27,24 @@ type Config struct {
 	// under this directory so the paper's figures can be viewed
 	// directly.
 	ArtifactDir string
+	// Workers sets the clip-evaluation worker-pool size for the
+	// experiments that train/evaluate over whole corpora (sec5, cv).
+	// 0 leaves the sequential path; < 0 selects runtime.NumCPU().
+	// Results are identical at every setting — only wall clock changes.
+	Workers int
 }
 
 // DefaultConfig returns the standard experiment configuration.
 func DefaultConfig() Config { return Config{Seed: 2008} } // the paper's year
+
+// workersOrSequential resolves Config.Workers for slj.NewEngineFrom:
+// 0 (the default) pins the sequential single-worker path.
+func (c Config) workersOrSequential() int {
+	if c.Workers == 0 {
+		return 1
+	}
+	return c.Workers
+}
 
 // Runner executes one experiment.
 type Runner func(Config) (fmt.Stringer, error)

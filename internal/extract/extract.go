@@ -78,14 +78,45 @@ func WithKeepLargestOnly(v bool) Option { return func(o *Options) { o.KeepLarges
 func WithFillHoles(v bool) Option { return func(o *Options) { o.FillHoles = v } }
 
 // Extractor segments the jumper's silhouette from frames against a fixed
-// studio background. It is safe for concurrent use once the background is
-// set, because extraction only reads the model.
+// studio background. It is NOT safe for concurrent use: the hot path
+// reuses per-extractor scratch buffers across frames (the moving-average
+// image, its summed-area tables and the difference map), so concurrent
+// workers must each own an Extractor — the slj.Engine worker pool does
+// exactly that.
 type Extractor struct {
 	opts   Options
 	bgRaw  *imaging.RGB // the background model itself (B)
 	bgAve  *imaging.RGB // pre-averaged background (B_ave)
 	width  int
 	height int
+
+	// Scratch reused across frames so steady-state extraction allocates
+	// only its final silhouette.
+	aAve *imaging.RGB // step-ii moving average of the input frame
+	sat  []int64      // summed-area tables backing aAve
+	crop *imaging.RGB // ROI crop (ExtractInROI only)
+	d    []int        // steps iii–iv absolute-difference sums
+}
+
+// diffs returns the d scratch slice resized to n elements.
+func (e *Extractor) diffs(n int) []int {
+	if cap(e.d) < n {
+		e.d = make([]int, n)
+	}
+	e.d = e.d[:n]
+	return e.d
+}
+
+// check validates the background model and frame dimensions.
+func (e *Extractor) check(frame *imaging.RGB) error {
+	if e.bgAve == nil {
+		return ErrNoBackground
+	}
+	if frame.W != e.width || frame.H != e.height {
+		return fmt.Errorf("extract: frame %dx%d does not match background %dx%d: %w",
+			frame.W, frame.H, e.width, e.height, imaging.ErrDimensionMismatch)
+	}
+	return nil
 }
 
 // NewExtractor returns an extractor with the paper's defaults applied and
@@ -178,29 +209,44 @@ func (e *Extractor) UpdateBackground(frame *imaging.RGB, objMask *imaging.Binary
 // Extract segments the moving object in frame, returning the smoothed
 // silhouette. The frame must match the background dimensions.
 func (e *Extractor) Extract(frame *imaging.RGB) (*imaging.Binary, error) {
-	raw, err := e.ExtractRaw(frame)
-	if err != nil {
+	if err := e.check(frame); err != nil {
 		return nil, err
 	}
-	return e.Smooth(raw), nil
+	// The raw mask is an intermediate consumed by Smooth; run it through
+	// the buffer pool so per-frame extraction stops churning the
+	// allocator. When Smooth is a no-op the pooled buffer escapes to the
+	// caller, which simply removes it from pool custody.
+	raw := imaging.GetBinary(e.width, e.height)
+	e.extractRawInto(frame, raw)
+	out := e.Smooth(raw)
+	if out != raw {
+		imaging.PutBinary(raw)
+	}
+	return out, nil
 }
 
 // ExtractRaw runs steps i–viii only, returning the unsmoothed silhouette of
 // Figure 1(b).
 func (e *Extractor) ExtractRaw(frame *imaging.RGB) (*imaging.Binary, error) {
-	if e.bgAve == nil {
-		return nil, ErrNoBackground
+	if err := e.check(frame); err != nil {
+		return nil, err
 	}
-	if frame.W != e.width || frame.H != e.height {
-		return nil, fmt.Errorf("extract: frame %dx%d does not match background %dx%d: %w",
-			frame.W, frame.H, e.width, e.height, imaging.ErrDimensionMismatch)
-	}
+	out := imaging.NewBinary(e.width, e.height)
+	e.extractRawInto(frame, out)
+	return out, nil
+}
+
+// extractRawInto runs steps i–viii of the Section 2 algorithm into a
+// zeroed full-frame mask, reusing the extractor's scratch buffers. The
+// caller has already validated the frame.
+func (e *Extractor) extractRawInto(frame *imaging.RGB, out *imaging.Binary) {
 	// Step ii: average the object frame.
-	aAve := imaging.BoxAverageRGB(frame, e.opts.Window)
+	e.aAve, e.sat = imaging.BoxAverageRGBInto(e.aAve, frame, e.opts.Window, e.sat)
+	aAve := e.aAve
 
 	// Steps iii–iv: D = sum of per-channel absolute differences.
 	n := e.width * e.height
-	d := make([]int, n)
+	d := e.diffs(n)
 	maxD := 0
 	for p := 0; p < n; p++ {
 		i := 3 * p
@@ -221,9 +267,8 @@ func (e *Extractor) ExtractRaw(frame *imaging.RGB) (*imaging.Binary, error) {
 	// Steps v–vii: shift so max(D) = 255, clamp negatives to zero.
 	// (When the frame equals the background, maxD is 0 and the shift
 	// would brighten pure noise to 255; guard by emitting an empty mask.)
-	out := imaging.NewBinary(e.width, e.height)
 	if maxD == 0 {
-		return out, nil
+		return
 	}
 	shift := maxD - 255
 	th := e.opts.ThObject
@@ -237,7 +282,6 @@ func (e *Extractor) ExtractRaw(frame *imaging.RGB) (*imaging.Binary, error) {
 			out.Pix[p] = 1
 		}
 	}
-	return out, nil
 }
 
 // ExtractInROI runs the Section 2 algorithm restricted to a region of
@@ -252,22 +296,19 @@ func (e *Extractor) ExtractRaw(frame *imaging.RGB) (*imaging.Binary, error) {
 // The result is a full-size silhouette with the ROI contents smoothed by
 // the configured post-processing.
 func (e *Extractor) ExtractInROI(frame *imaging.RGB, roi imaging.Rect) (*imaging.Binary, error) {
-	if e.bgAve == nil {
-		return nil, ErrNoBackground
-	}
-	if frame.W != e.width || frame.H != e.height {
-		return nil, fmt.Errorf("extract: frame %dx%d does not match background %dx%d: %w",
-			frame.W, frame.H, e.width, e.height, imaging.ErrDimensionMismatch)
+	if err := e.check(frame); err != nil {
+		return nil, err
 	}
 	roi = roi.Intersect(frame.Bounds())
 	if roi.Empty() {
 		return imaging.NewBinary(e.width, e.height), nil
 	}
-	crop := frame.Crop(roi)
-	aAve := imaging.BoxAverageRGB(crop, e.opts.Window)
+	e.crop = frame.CropInto(e.crop, roi)
+	e.aAve, e.sat = imaging.BoxAverageRGBInto(e.aAve, e.crop, e.opts.Window, e.sat)
+	aAve := e.aAve
 
 	w := roi.Dx()
-	d := make([]int, w*roi.Dy())
+	d := e.diffs(w * roi.Dy())
 	maxD := 0
 	for y := 0; y < roi.Dy(); y++ {
 		for x := 0; x < w; x++ {
@@ -287,7 +328,7 @@ func (e *Extractor) ExtractInROI(frame *imaging.RGB, roi imaging.Rect) (*imaging
 			}
 		}
 	}
-	out := imaging.NewBinary(e.width, e.height)
+	out := imaging.GetBinary(e.width, e.height)
 	if maxD == 0 {
 		return out, nil
 	}
@@ -304,24 +345,38 @@ func (e *Extractor) ExtractInROI(frame *imaging.RGB, roi imaging.Rect) (*imaging
 			}
 		}
 	}
-	return e.Smooth(out), nil
+	res := e.Smooth(out)
+	if res != out {
+		imaging.PutBinary(out)
+	}
+	return res, nil
 }
 
 // Smooth applies the configured silhouette post-processing (median filter,
 // optional hole fill, optional largest-component isolation) to a raw mask,
-// producing Figure 1(c).
+// producing Figure 1(c). The returned image is always freshly owned by the
+// caller (or raw itself when every step is disabled); intermediates are
+// recycled through the imaging buffer pool.
 func (e *Extractor) Smooth(raw *imaging.Binary) *imaging.Binary {
-	out := raw
+	cur := raw
+	// step installs the next intermediate and releases the previous one,
+	// except raw itself, which the caller owns.
+	step := func(next *imaging.Binary) {
+		if cur != raw {
+			imaging.PutBinary(cur)
+		}
+		cur = next
+	}
 	if e.opts.MedianKernel > 0 {
-		out = imaging.MedianFilterBinary(out, e.opts.MedianKernel)
+		step(imaging.MedianFilterBinaryInto(imaging.GetBinary(cur.W, cur.H), cur, e.opts.MedianKernel))
 	}
 	if e.opts.FillHoles {
-		out = imaging.FillHoles(out, imaging.Connect8)
+		step(imaging.FillHoles(cur, imaging.Connect8))
 	}
 	if e.opts.KeepLargestOnly {
-		out = imaging.LargestComponent(out, imaging.Connect8)
+		step(imaging.LargestComponent(cur, imaging.Connect8))
 	}
-	return out
+	return cur
 }
 
 // Stats summarises one extraction for the Figure 1 experiment.

@@ -252,21 +252,74 @@ func TestThresholdSensitivity(t *testing.T) {
 	}
 }
 
+// TestExtractConcurrent exercises the package's concurrency contract: an
+// Extractor reuses scratch buffers across frames, so concurrent workers
+// each own an extractor (sharing the read-only input frames) and must all
+// produce the identical silhouette.
 func TestExtractConcurrent(t *testing.T) {
 	bg, frame := makeScene(48, 48, 8, 12, 12, 36, 36)
-	e := newTestExtractor(t)
-	e.SetBackground(bg)
-	done := make(chan error)
+	ref := newTestExtractor(t)
+	ref.SetBackground(bg)
+	want, err := ref.Extract(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type res struct {
+		sil *imaging.Binary
+		err error
+	}
+	done := make(chan res)
 	for i := 0; i < 8; i++ {
+		e := newTestExtractor(t)
+		e.SetBackground(bg)
 		go func() {
-			_, err := e.Extract(frame)
-			done <- err
+			// Each worker extracts repeatedly to cycle its scratch
+			// buffers and the shared imaging pool.
+			var sil *imaging.Binary
+			var err error
+			for k := 0; k < 4 && err == nil; k++ {
+				sil, err = e.Extract(frame)
+			}
+			done <- res{sil, err}
 		}()
 	}
 	for i := 0; i < 8; i++ {
-		if err := <-done; err != nil {
+		r := <-done
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if !r.sil.Equal(want) {
+			t.Fatal("concurrent extraction differs from sequential result")
+		}
+	}
+}
+
+// TestExtractNoCrossFrameBleed releases a silhouette's intermediates back
+// to the buffer pool and mutates a later frame's buffers; the earlier
+// result must be unaffected (no aliasing between pooled frames).
+func TestExtractNoCrossFrameBleed(t *testing.T) {
+	bg, frameA := makeScene(48, 48, 8, 12, 12, 36, 36)
+	_, frameB := makeScene(48, 48, 8, 4, 4, 20, 44)
+	e := newTestExtractor(t)
+	e.SetBackground(bg)
+	silA, err := e.Extract(frameA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := silA.Clone()
+	// Extract more frames: these recycle the pooled intermediates silA's
+	// extraction used and scribble over them.
+	for k := 0; k < 3; k++ {
+		silB, err := e.Extract(frameB)
+		if err != nil {
 			t.Fatal(err)
 		}
+		for i := range silB.Pix {
+			silB.Pix[i] = 1 // mutate the newest result as hard as possible
+		}
+	}
+	if !silA.Equal(snapshot) {
+		t.Fatal("earlier silhouette changed after later extractions: pooled buffer aliasing")
 	}
 }
 

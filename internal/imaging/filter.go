@@ -8,10 +8,27 @@ import "sort"
 // it on the extracted silhouette (Figure 1(c)). Pixels whose window leaves
 // the image are computed over the in-bounds part of the window.
 func MedianFilterBinary(src *Binary, k int) *Binary {
+	return MedianFilterBinaryInto(nil, src, k)
+}
+
+// MedianFilterBinaryInto is MedianFilterBinary writing into dst, which is
+// resized as needed (nil allocates a fresh image). dst must not alias src.
+// It returns dst, so hot paths can recycle one destination buffer across
+// frames instead of allocating per call.
+func MedianFilterBinaryInto(dst *Binary, src *Binary, k int) *Binary {
 	if k < 1 || k%2 == 0 {
 		panic("imaging.MedianFilterBinary: kernel size must be odd and positive")
 	}
-	out := NewBinary(src.W, src.H)
+	if dst == nil {
+		dst = &Binary{}
+	}
+	dst.W, dst.H = src.W, src.H
+	if n := src.W * src.H; cap(dst.Pix) < n {
+		dst.Pix = make([]uint8, n)
+	} else {
+		dst.Pix = dst.Pix[:n]
+	}
+	out := dst
 	r := k / 2
 	for y := 0; y < src.H; y++ {
 		for x := 0; x < src.W; x++ {
@@ -35,6 +52,8 @@ func MedianFilterBinary(src *Binary, k int) *Binary {
 			}
 			if 2*ones > total {
 				out.Pix[y*out.W+x] = 1
+			} else {
+				out.Pix[y*out.W+x] = 0
 			}
 		}
 	}
@@ -82,25 +101,55 @@ func MedianFilterGray(src *Gray, k int) *Gray {
 // The implementation uses per-channel summed-area tables so the cost is
 // O(W·H) independent of n.
 func BoxAverageRGB(src *RGB, n int) *RGB {
+	out, _ := BoxAverageRGBInto(nil, src, n, nil)
+	return out
+}
+
+// BoxAverageRGBInto is BoxAverageRGB writing into dst (resized as needed;
+// nil allocates) with sat as summed-area scratch (grown as needed; nil
+// allocates). dst must not alias src. It returns dst and the scratch so a
+// hot path can thread both through successive frames and reach zero
+// steady-state allocations.
+func BoxAverageRGBInto(dst *RGB, src *RGB, n int, sat []int64) (*RGB, []int64) {
 	if n < 1 || n%2 == 0 {
 		panic("imaging.BoxAverageRGB: window size must be odd and positive")
 	}
 	w, h := src.W, src.H
-	out := NewRGB(w, h)
-	// Summed-area table with a zero top row and left column: sat[(y+1)*(w+1)+x+1]
-	// is the sum over the rectangle [0..x]×[0..y].
-	sw := w + 1
-	sat := make([][]int64, 3)
+	if dst == nil {
+		dst = &RGB{}
+	}
+	dst.W, dst.H = w, h
+	if need := 3 * w * h; cap(dst.Pix) < need {
+		dst.Pix = make([]uint8, need)
+	} else {
+		dst.Pix = dst.Pix[:need]
+	}
+	out := dst
+	// Per-channel summed-area tables with a zero top row and left column,
+	// packed back to back in sat: sat[c*sw*sh + (y+1)*sw + x+1] is the
+	// channel-c sum over the rectangle [0..x]×[0..y].
+	sw, sh := w+1, h+1
+	if need := 3 * sw * sh; cap(sat) < need {
+		sat = make([]int64, need)
+	} else {
+		sat = sat[:need]
+		clear(sat[:sw]) // zero top row; the fill below writes the rest
+		for c := 1; c < 3; c++ {
+			clear(sat[c*sw*sh : c*sw*sh+sw])
+		}
+	}
+	var tab [3][]int64
 	for c := 0; c < 3; c++ {
-		sat[c] = make([]int64, sw*(h+1))
+		tab[c] = sat[c*sw*sh : (c+1)*sw*sh]
 	}
 	for y := 0; y < h; y++ {
 		var run [3]int64
+		tab[0][(y+1)*sw], tab[1][(y+1)*sw], tab[2][(y+1)*sw] = 0, 0, 0 // zero left column
 		for x := 0; x < w; x++ {
 			i := 3 * (y*w + x)
 			for c := 0; c < 3; c++ {
 				run[c] += int64(src.Pix[i+c])
-				sat[c][(y+1)*sw+x+1] = sat[c][y*sw+x+1] + run[c]
+				tab[c][(y+1)*sw+x+1] = tab[c][y*sw+x+1] + run[c]
 			}
 		}
 	}
@@ -124,12 +173,12 @@ func BoxAverageRGB(src *RGB, n int) *RGB {
 			area := int64((y1 - y0) * (x1 - x0))
 			o := 3 * (y*w + x)
 			for c := 0; c < 3; c++ {
-				s := sat[c][y1*sw+x1] - sat[c][y0*sw+x1] - sat[c][y1*sw+x0] + sat[c][y0*sw+x0]
+				s := tab[c][y1*sw+x1] - tab[c][y0*sw+x1] - tab[c][y1*sw+x0] + tab[c][y0*sw+x0]
 				out.Pix[o+c] = uint8((s + area/2) / area)
 			}
 		}
 	}
-	return out
+	return out, sat
 }
 
 // Dilate returns the binary dilation of src with a 3×3 square structuring

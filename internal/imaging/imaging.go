@@ -343,11 +343,32 @@ func (b *Binary) FlipH() *Binary {
 // Crop returns a copy of the sub-image spanned by r (clipped to bounds).
 // An empty intersection yields a 1x1 black image.
 func (m *RGB) Crop(r Rect) *RGB {
+	return m.CropInto(nil, r)
+}
+
+// CropInto is Crop writing into dst, which is resized as needed (nil
+// allocates a fresh image). dst must not alias m. It returns dst so hot
+// paths can recycle the crop buffer across frames.
+func (m *RGB) CropInto(dst *RGB, r Rect) *RGB {
 	r = r.Intersect(m.Bounds())
-	if r.Empty() {
-		return NewRGB(1, 1)
+	if dst == nil {
+		dst = &RGB{}
 	}
-	out := NewRGB(r.Dx(), r.Dy())
+	w, h := r.Dx(), r.Dy()
+	if r.Empty() {
+		w, h = 1, 1
+	}
+	dst.W, dst.H = w, h
+	if need := 3 * w * h; cap(dst.Pix) < need {
+		dst.Pix = make([]uint8, need)
+	} else {
+		dst.Pix = dst.Pix[:need]
+	}
+	if r.Empty() {
+		dst.Pix[0], dst.Pix[1], dst.Pix[2] = 0, 0, 0
+		return dst
+	}
+	out := dst
 	for y := 0; y < out.H; y++ {
 		srcOff := 3 * ((r.Min.Y+y)*m.W + r.Min.X)
 		dstOff := 3 * y * out.W

@@ -1,0 +1,94 @@
+// Buffer pooling. The per-frame pipeline allocates several full-frame
+// images per frame (averaged frames, raw masks, smoothing intermediates,
+// thinning work copies); at video rate that churns the allocator hard.
+// The Get/Put pairs below recycle those buffers through sync.Pools so the
+// steady-state hot path allocates (almost) nothing.
+//
+// Contract: Get* returns an image that is ZEROED and exactly w×h, exactly
+// like New*; Put* hands the buffer back for reuse. After Put the caller
+// must not touch the image again — the next Get may hand the same backing
+// slice to an unrelated frame. Putting an image that is still referenced
+// elsewhere is the classic aliasing bug; when in doubt, don't Put. Pooled
+// buffers that escape to callers are simply never returned, which is
+// always safe.
+
+package imaging
+
+import "sync"
+
+var (
+	binaryPool = sync.Pool{New: func() any { return new(Binary) }}
+	grayPool   = sync.Pool{New: func() any { return new(Gray) }}
+	rgbPool    = sync.Pool{New: func() any { return new(RGB) }}
+)
+
+// grab reslices buf to n zeroed elements, reallocating when the backing
+// capacity is too small.
+func grab(buf []uint8, n int) []uint8 {
+	if cap(buf) < n {
+		return make([]uint8, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// GetBinary returns a zeroed w×h binary image, reusing a pooled buffer
+// when one of sufficient capacity is available. Pair with PutBinary.
+func GetBinary(w, h int) *Binary {
+	if w <= 0 || h <= 0 {
+		panic("imaging.GetBinary: non-positive dimensions")
+	}
+	b := binaryPool.Get().(*Binary)
+	b.W, b.H = w, h
+	b.Pix = grab(b.Pix, w*h)
+	return b
+}
+
+// PutBinary returns a binary image to the pool. nil is ignored.
+func PutBinary(b *Binary) {
+	if b == nil {
+		return
+	}
+	binaryPool.Put(b)
+}
+
+// GetGray returns a zeroed w×h grayscale image from the pool. Pair with
+// PutGray.
+func GetGray(w, h int) *Gray {
+	if w <= 0 || h <= 0 {
+		panic("imaging.GetGray: non-positive dimensions")
+	}
+	g := grayPool.Get().(*Gray)
+	g.W, g.H = w, h
+	g.Pix = grab(g.Pix, w*h)
+	return g
+}
+
+// PutGray returns a grayscale image to the pool. nil is ignored.
+func PutGray(g *Gray) {
+	if g == nil {
+		return
+	}
+	grayPool.Put(g)
+}
+
+// GetRGB returns a zeroed (black) w×h colour image from the pool. Pair
+// with PutRGB.
+func GetRGB(w, h int) *RGB {
+	if w <= 0 || h <= 0 {
+		panic("imaging.GetRGB: non-positive dimensions")
+	}
+	m := rgbPool.Get().(*RGB)
+	m.W, m.H = w, h
+	m.Pix = grab(m.Pix, 3*w*h)
+	return m
+}
+
+// PutRGB returns a colour image to the pool. nil is ignored.
+func PutRGB(m *RGB) {
+	if m == nil {
+		return
+	}
+	rgbPool.Put(m)
+}

@@ -1,0 +1,154 @@
+package imaging
+
+import "testing"
+
+func TestGetBinaryZeroedAfterPut(t *testing.T) {
+	// Acquire, dirty, release, re-acquire: the new buffer must be zeroed
+	// even when the pool hands the same backing slice back.
+	b := GetBinary(16, 8)
+	for i := range b.Pix {
+		b.Pix[i] = 1
+	}
+	PutBinary(b)
+	c := GetBinary(16, 8)
+	for i, v := range c.Pix {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed at %d", i)
+		}
+	}
+	PutBinary(c)
+}
+
+func TestPoolResizes(t *testing.T) {
+	b := GetBinary(4, 4)
+	PutBinary(b)
+	big := GetBinary(32, 32)
+	if big.W != 32 || big.H != 32 || len(big.Pix) != 32*32 {
+		t.Fatalf("got %dx%d len %d", big.W, big.H, len(big.Pix))
+	}
+	PutBinary(big)
+	small := GetBinary(2, 3)
+	if small.W != 2 || small.H != 3 || len(small.Pix) != 6 {
+		t.Fatalf("got %dx%d len %d", small.W, small.H, len(small.Pix))
+	}
+	for i, v := range small.Pix {
+		if v != 0 {
+			t.Fatalf("shrunk buffer not zeroed at %d", i)
+		}
+	}
+	PutBinary(small)
+}
+
+func TestGetRGBAndGrayZeroed(t *testing.T) {
+	m := GetRGB(5, 5)
+	for i := range m.Pix {
+		m.Pix[i] = 200
+	}
+	PutRGB(m)
+	m2 := GetRGB(5, 5)
+	for i, v := range m2.Pix {
+		if v != 0 {
+			t.Fatalf("rgb reuse not zeroed at %d", i)
+		}
+	}
+	PutRGB(m2)
+
+	g := GetGray(7, 3)
+	for i := range g.Pix {
+		g.Pix[i] = 9
+	}
+	PutGray(g)
+	g2 := GetGray(7, 3)
+	for i, v := range g2.Pix {
+		if v != 0 {
+			t.Fatalf("gray reuse not zeroed at %d", i)
+		}
+	}
+	PutGray(g2)
+}
+
+func TestPutNilIsNoop(t *testing.T) {
+	PutBinary(nil)
+	PutGray(nil)
+	PutRGB(nil)
+}
+
+func TestBoxAverageRGBIntoMatchesAlloc(t *testing.T) {
+	src := NewRGB(37, 23)
+	for i := range src.Pix {
+		src.Pix[i] = uint8((i*31 + 7) % 256)
+	}
+	want := BoxAverageRGB(src, 3)
+	var dst *RGB
+	var sat []int64
+	// Run twice through the same scratch: the second pass must not be
+	// polluted by the first.
+	for pass := 0; pass < 2; pass++ {
+		dst, sat = BoxAverageRGBInto(dst, src, 3, sat)
+		if dst.W != want.W || dst.H != want.H {
+			t.Fatalf("pass %d: got %dx%d", pass, dst.W, dst.H)
+		}
+		for i := range want.Pix {
+			if dst.Pix[i] != want.Pix[i] {
+				t.Fatalf("pass %d: pixel %d = %d, want %d", pass, i, dst.Pix[i], want.Pix[i])
+			}
+		}
+	}
+	// Shrink after growth: reuse the scratch for a smaller frame.
+	small := NewRGB(9, 5)
+	for i := range small.Pix {
+		small.Pix[i] = uint8(i)
+	}
+	wantSmall := BoxAverageRGB(small, 5)
+	dst, _ = BoxAverageRGBInto(dst, small, 5, sat)
+	for i := range wantSmall.Pix {
+		if dst.Pix[i] != wantSmall.Pix[i] {
+			t.Fatalf("small: pixel %d = %d, want %d", i, dst.Pix[i], wantSmall.Pix[i])
+		}
+	}
+}
+
+func TestMedianFilterBinaryIntoMatchesAlloc(t *testing.T) {
+	src := NewBinary(21, 17)
+	for i := range src.Pix {
+		if (i*13)%5 < 2 {
+			src.Pix[i] = 1
+		}
+	}
+	want := MedianFilterBinary(src, 3)
+	dst := GetBinary(21, 17)
+	// Dirty the destination first: Into must overwrite every pixel.
+	for i := range dst.Pix {
+		dst.Pix[i] = 1
+	}
+	got := MedianFilterBinaryInto(dst, src, 3)
+	if !got.Equal(want) {
+		t.Fatal("Into result differs from allocating variant")
+	}
+	PutBinary(dst)
+}
+
+func TestCropIntoMatchesCrop(t *testing.T) {
+	src := NewRGB(30, 20)
+	for i := range src.Pix {
+		src.Pix[i] = uint8(i % 251)
+	}
+	for _, r := range []Rect{
+		NewRect(3, 4, 17, 12),
+		NewRect(-5, -5, 10, 10), // clipped
+		NewRect(25, 15, 60, 60), // clipped
+		NewRect(8, 8, 8, 9),     // empty
+	} {
+		want := src.Crop(r)
+		got := src.CropInto(GetRGB(1, 1), r)
+		if got.W != want.W || got.H != want.H {
+			t.Fatalf("rect %v: got %dx%d want %dx%d", r, got.W, got.H, want.W, want.H)
+		}
+		for i := range want.Pix {
+			if got.Pix[i] != want.Pix[i] {
+				t.Fatalf("rect %v: pixel %d differs", r, i)
+			}
+		}
+		PutRGB(got)
+	}
+}

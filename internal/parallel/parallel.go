@@ -1,0 +1,189 @@
+// Package parallel provides the small concurrency substrate the pipeline
+// is parallelised with: a worker pool whose results come back in input
+// order (MapOrdered) and a bounded-channel stage pipeline (Pipeline).
+//
+// Both primitives are deterministic by construction: MapOrdered returns
+// results indexed exactly like its input and, on failure, reports the
+// error of the LOWEST failing index (the error the sequential loop would
+// have hit first); Pipeline runs every stage as a single goroutine over a
+// FIFO channel, so items traverse stages strictly in order. Callers that
+// pass workers <= 1 get a plain inline loop — byte-identical behaviour to
+// the pre-parallel code path, with no goroutines spawned.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count request: values >= 1 are returned as
+// given, anything else (0, negative) resolves to runtime.NumCPU().
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// MapOrdered applies fn to every item on a pool of `workers` goroutines
+// (resolved via Workers) and returns the results in input order. When the
+// resolved worker count is 1 — or there is at most one item — fn runs
+// inline on the calling goroutine, one item at a time, preserving the
+// exact sequential code path.
+//
+// On error the remaining items are abandoned as soon as possible and the
+// error of the lowest failing index is returned, matching what a
+// sequential loop over the same items would report.
+func MapOrdered[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	w := Workers(workers)
+	if w > len(items) {
+		w = len(items)
+	}
+	if w <= 1 {
+		for i, item := range items {
+			r, err := fn(i, item)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64 // next item index to claim
+		stop   atomic.Bool  // set once any worker fails
+		mu     sync.Mutex
+		errIdx = -1
+		firstE error
+		wg     sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, firstE = i, err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) || stop.Load() {
+					return
+				}
+				r, err := fn(i, items[i])
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if errIdx >= 0 {
+		return nil, firstE
+	}
+	return out, nil
+}
+
+// ForEach is MapOrdered for side-effecting work without a result value.
+func ForEach[T any](workers int, items []T, fn func(i int, item T) error) error {
+	_, err := MapOrdered(workers, items, func(i int, item T) (struct{}, error) {
+		return struct{}{}, fn(i, item)
+	})
+	return err
+}
+
+// token carries one item through a Pipeline together with its index.
+type token[T any] struct {
+	i int
+	v T
+}
+
+// Pipeline streams items through a chain of stages connected by bounded
+// channels of capacity `bound` (values < 1 are clamped to 1). Every stage
+// runs as ONE goroutine applying its function in item order, so stage k
+// can work on item i while stage k-1 is already on item i+1 — the stages
+// overlap in time, memory in flight is bounded by bound*len(stages)
+// items, and the output order (and therefore the result) is deterministic.
+//
+// On a stage error the pipeline drains and the error of the lowest item
+// index that failed in the EARLIEST stage to touch it is returned — the
+// error a sequential stage-by-stage loop would have hit first. Results
+// are nil on error.
+func Pipeline[T any](bound int, items []T, stages ...func(i int, v T) (T, error)) ([]T, error) {
+	if len(stages) == 0 || len(items) == 0 {
+		out := make([]T, len(items))
+		copy(out, items)
+		return out, nil
+	}
+	if bound < 1 {
+		bound = 1
+	}
+
+	var (
+		mu     sync.Mutex
+		errIdx = -1
+		pipErr error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, pipErr = i, err
+		}
+		mu.Unlock()
+	}
+
+	// Source feeds the first channel.
+	source := make(chan token[T], bound)
+	go func() {
+		defer close(source)
+		for i, v := range items {
+			source <- token[T]{i, v}
+		}
+	}()
+	in := source
+
+	// One goroutine per stage. A stage that sees an item index at or
+	// beyond a recorded error index skips the work (the result can no
+	// longer matter) but keeps draining so upstream stages never block.
+	for _, stage := range stages {
+		stage := stage
+		src := in
+		dst := make(chan token[T], bound)
+		go func() {
+			defer close(dst)
+			for t := range src {
+				mu.Lock()
+				dead := errIdx >= 0 && t.i >= errIdx
+				mu.Unlock()
+				if dead {
+					continue
+				}
+				v, err := stage(t.i, t.v)
+				if err != nil {
+					fail(t.i, err)
+					continue
+				}
+				dst <- token[T]{t.i, v}
+			}
+		}()
+		in = dst
+	}
+
+	out := make([]T, len(items))
+	for t := range in {
+		out[t.i] = t.v
+	}
+	if errIdx >= 0 {
+		return nil, pipErr
+	}
+	return out, nil
+}

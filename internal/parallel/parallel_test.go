@@ -1,0 +1,181 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d", got)
+	}
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Fatalf("Workers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-5); got != runtime.NumCPU() {
+		t.Fatalf("Workers(-5) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+}
+
+func TestMapOrderedMatchesSequential(t *testing.T) {
+	items := make([]int, 257)
+	for i := range items {
+		items[i] = i * 3
+	}
+	sq := func(i, v int) (int, error) { return v*v + i, nil }
+	want, err := MapOrdered(1, items, sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8, 64, 1000} {
+		got, err := MapOrdered(w, items, sq)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapOrderedEmpty(t *testing.T) {
+	out, err := MapOrdered(8, nil, func(i int, v int) (int, error) { return v, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}
+
+func TestMapOrderedLowestError(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	// Items 7 and 40 both fail; the reported error must be item 7's
+	// regardless of scheduling.
+	for _, w := range []int{1, 2, 8} {
+		_, err := MapOrdered(w, items, func(i, v int) (int, error) {
+			if i == 7 || i == 40 {
+				return 0, fmt.Errorf("item %d failed", i)
+			}
+			return v, nil
+		})
+		if err == nil || err.Error() != "item 7 failed" {
+			t.Fatalf("workers=%d: err = %v, want item 7 failed", w, err)
+		}
+	}
+}
+
+func TestMapOrderedStopsEarly(t *testing.T) {
+	var calls atomic.Int64
+	items := make([]int, 10000)
+	_, err := MapOrdered(4, items, func(i, v int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, errors.New("boom")
+		}
+		return v, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := calls.Load(); n >= int64(len(items)) {
+		t.Fatalf("expected early stop, but all %d items ran", n)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	items := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	var sum atomic.Int64
+	if err := ForEach(4, items, func(_ int, v int) error {
+		sum.Add(int64(v))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 36 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func TestPipelineOrderAndOverlap(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := Pipeline(4, items,
+		func(_ int, v int) (int, error) { return v + 1, nil },
+		func(_ int, v int) (int, error) { return v * 2, nil },
+		func(_ int, v int) (int, error) { return v - 3, nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if want := (i+1)*2 - 3; v != want {
+			t.Fatalf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestPipelineNoStages(t *testing.T) {
+	out, err := Pipeline(2, []int{5, 6})
+	if err != nil || len(out) != 2 || out[0] != 5 || out[1] != 6 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}
+
+func TestPipelineError(t *testing.T) {
+	items := make([]int, 50)
+	out, err := Pipeline(2, items,
+		func(i int, v int) (int, error) {
+			if i == 30 {
+				return 0, errors.New("stage1 item 30")
+			}
+			return v, nil
+		},
+		func(i int, v int) (int, error) {
+			if i == 12 {
+				return 0, errors.New("stage2 item 12")
+			}
+			return v, nil
+		},
+	)
+	if out != nil {
+		t.Fatalf("results must be nil on error, got %v", out)
+	}
+	// Item 12 is the lowest failing index: its stage-2 error is what a
+	// sequential item-by-item run would have hit first.
+	if err == nil || err.Error() != "stage2 item 12" {
+		t.Fatalf("err = %v, want stage2 item 12", err)
+	}
+}
+
+func TestPipelineStatefulStage(t *testing.T) {
+	// A stage is a single goroutine, so per-stage state needs no locking
+	// and observes items strictly in order.
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = 1
+	}
+	running := 0
+	out, err := Pipeline(3, items, func(i int, v int) (int, error) {
+		running += v // cumulative sum: depends on strict ordering
+		return running, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+}

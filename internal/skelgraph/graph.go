@@ -147,12 +147,27 @@ func WithMaxSpanning(v bool) Option { return func(o *Options) { o.MaxSpanning = 
 // WithBridgeRadius overrides the reconnection radius.
 func WithBridgeRadius(r float64) Option { return func(o *Options) { o.BridgeRadius = r } }
 
+// pixelAdj is the raw pixel graph in fixed-stride adjacency form: pixel
+// v's neighbours are nbr[8v : 8v+deg[v]], in the imaging.Neighbors8 scan
+// order. The flat layout replaces the per-pixel []int32 slices that used
+// to dominate the per-frame allocation count (one allocation per skeleton
+// pixel); now the whole graph costs two allocations regardless of size.
+type pixelAdj struct {
+	nbr []int32
+	deg []uint8
+}
+
+// neighbors returns pixel v's adjacency list.
+func (a *pixelAdj) neighbors(v int32) []int32 {
+	return a.nbr[8*int(v) : 8*int(v)+int(a.deg[v])]
+}
+
 // pixelAdjacency builds the raw pixel graph: for every foreground pixel its
 // adjacent foreground pixels under 8-connectivity, with a diagonal link
 // suppressed when the two pixels already share an orthogonal 2-path (the
 // same reduction used by the thinning metrics; it prevents phantom
 // triangle cycles at corners).
-func pixelAdjacency(skel *imaging.Binary) (idx []int32, pts []imaging.Point, adj [][]int32) {
+func pixelAdjacency(skel *imaging.Binary) (idx []int32, pts []imaging.Point, adj pixelAdj) {
 	idx = make([]int32, len(skel.Pix))
 	for i := range idx {
 		idx[i] = -1
@@ -168,7 +183,7 @@ func pixelAdjacency(skel *imaging.Binary) (idx []int32, pts []imaging.Point, adj
 	at := func(x, y int) bool {
 		return x >= 0 && x < skel.W && y >= 0 && y < skel.H && skel.Pix[y*skel.W+x] != 0
 	}
-	adj = make([][]int32, len(pts))
+	adj = pixelAdj{nbr: make([]int32, 8*len(pts)), deg: make([]uint8, len(pts))}
 	for vi, p := range pts {
 		x, y := p.X, p.Y
 		for _, d := range imaging.Neighbors8 {
@@ -182,7 +197,8 @@ func pixelAdjacency(skel *imaging.Binary) (idx []int32, pts []imaging.Point, adj
 					continue
 				}
 			}
-			adj[vi] = append(adj[vi], idx[yy*skel.W+xx])
+			adj.nbr[8*vi+int(adj.deg[vi])] = idx[yy*skel.W+xx]
+			adj.deg[vi]++
 		}
 	}
 	return idx, pts, adj
@@ -193,10 +209,6 @@ func pixelAdjacency(skel *imaging.Binary) (idx []int32, pts []imaging.Point, adj
 // their eight neighbours. Exposed for the Figure 3 experiment.
 func AdjacentJunctionVertices(skel *imaging.Binary) []imaging.Point {
 	idx, pts, adj := pixelAdjacency(skel)
-	deg := make([]int, len(pts))
-	for i := range adj {
-		deg[i] = len(adj[i])
-	}
 	var out []imaging.Point
 	for _, p := range pts {
 		n := 0
@@ -205,7 +217,7 @@ func AdjacentJunctionVertices(skel *imaging.Binary) []imaging.Point {
 			if xx < 0 || xx >= skel.W || yy < 0 || yy >= skel.H {
 				continue
 			}
-			if j := idx[yy*skel.W+xx]; j >= 0 && deg[j] >= 3 {
+			if j := idx[yy*skel.W+xx]; j >= 0 && adj.deg[j] >= 3 {
 				n++
 			}
 		}
@@ -231,18 +243,25 @@ func Build(skel *imaging.Binary, opts ...Option) (*Graph, error) {
 	}
 
 	work := skel
+	pooled := false
 	if o.RemoveAdjacentJunctions {
 		remove := AdjacentJunctionVertices(skel)
 		if len(remove) > 0 {
-			work = skel.Clone()
+			// The cleaned copy lives only until its adjacency is built;
+			// recycle it through the imaging buffer pool.
+			work = imaging.GetBinary(skel.W, skel.H)
+			copy(work.Pix, skel.Pix)
+			pooled = true
 			for _, p := range remove {
 				work.Set(p.X, p.Y, 0)
 			}
 		}
 	}
 
-	idx, pts, adj := pixelAdjacency(work)
-	_ = idx
+	_, pts, adj := pixelAdjacency(work)
+	if pooled {
+		imaging.PutBinary(work)
+	}
 	if len(pts) == 0 {
 		return nil, ErrEmptySkeleton
 	}
@@ -259,36 +278,43 @@ func Build(skel *imaging.Binary, opts ...Option) (*Graph, error) {
 }
 
 // traceSegments contracts the pixel graph into nodes and segments.
-func (g *Graph) traceSegments(pts []imaging.Point, adj [][]int32) {
-	deg := make([]int, len(pts))
-	for i := range adj {
-		deg[i] = len(adj[i])
-	}
+func (g *Graph) traceSegments(pts []imaging.Point, adj pixelAdj) {
 	// Nodes: every pixel whose degree != 2.
 	nodeOf := make([]int32, len(pts))
 	for i := range nodeOf {
 		nodeOf[i] = -1
 	}
-	for i, d := range deg {
-		if d != 2 {
+	for i := range pts {
+		if adj.deg[i] != 2 {
 			nodeOf[i] = int32(len(g.Nodes))
 			g.Nodes = append(g.Nodes, Node{P: pts[i]})
 		}
 	}
 
-	type edgeKey struct{ a, b int32 }
-	visited := make(map[edgeKey]bool)
-	mark := func(a, b int32) {
-		if a > b {
-			a, b = b, a
+	// visited[a] bit k set means the edge from a to its k-th neighbour
+	// has been traced. Edges are marked in both directions, so one flat
+	// byte per pixel replaces the map of pixel pairs the tracer used to
+	// allocate per edge.
+	visited := make([]uint8, len(pts))
+	markDir := func(a, b int32) {
+		for k, w := range adj.neighbors(a) {
+			if w == b {
+				visited[a] |= 1 << uint(k)
+				return
+			}
 		}
-		visited[edgeKey{a, b}] = true
+	}
+	mark := func(a, b int32) {
+		markDir(a, b)
+		markDir(b, a)
 	}
 	seen := func(a, b int32) bool {
-		if a > b {
-			a, b = b, a
+		for k, w := range adj.neighbors(a) {
+			if w == b {
+				return visited[a]&(1<<uint(k)) != 0
+			}
 		}
-		return visited[edgeKey{a, b}]
+		return false
 	}
 
 	// Walk each segment starting from every node pixel.
@@ -296,7 +322,7 @@ func (g *Graph) traceSegments(pts []imaging.Point, adj [][]int32) {
 		if nodeOf[vi] < 0 {
 			continue
 		}
-		for _, next := range adj[vi] {
+		for _, next := range adj.neighbors(int32(vi)) {
 			if seen(int32(vi), next) {
 				continue
 			}
@@ -307,7 +333,7 @@ func (g *Graph) traceSegments(pts []imaging.Point, adj [][]int32) {
 				path = append(path, pts[cur])
 				// Degree-2 interior: step to the neighbour that is not prev.
 				var nxt int32 = -1
-				for _, w := range adj[cur] {
+				for _, w := range adj.neighbors(cur) {
 					if w != prev {
 						nxt = w
 						break
@@ -330,22 +356,23 @@ func (g *Graph) traceSegments(pts []imaging.Point, adj [][]int32) {
 	// break each by promoting an arbitrary pixel to a node and tracing
 	// the ring as a self-loop (cut later by spanningCut).
 	for vi := range pts {
-		if deg[vi] != 2 || nodeOf[vi] >= 0 {
+		if adj.deg[vi] != 2 || nodeOf[vi] >= 0 {
 			continue
 		}
 		// Already traced as part of a segment?
-		if seen(int32(vi), adj[vi][0]) && seen(int32(vi), adj[vi][1]) {
+		nb := adj.neighbors(int32(vi))
+		if seen(int32(vi), nb[0]) && seen(int32(vi), nb[1]) {
 			continue
 		}
 		nodeOf[vi] = int32(len(g.Nodes))
 		g.Nodes = append(g.Nodes, Node{P: pts[vi]})
 		path := []imaging.Point{pts[vi]}
-		prev, cur := int32(vi), adj[vi][0]
+		prev, cur := int32(vi), nb[0]
 		mark(prev, cur)
 		for cur != int32(vi) {
 			path = append(path, pts[cur])
 			var nxt int32 = -1
-			for _, w := range adj[cur] {
+			for _, w := range adj.neighbors(cur) {
 				if w != prev {
 					nxt = w
 					break

@@ -46,18 +46,36 @@ func (a Algorithm) String() string {
 // returns a new image; the input is not modified. Unknown algorithms fall
 // back to Zhang–Suen.
 func Thin(src *imaging.Binary, alg Algorithm) *imaging.Binary {
+	return ThinInto(nil, src, alg)
+}
+
+// ThinInto is Thin writing into dst, which is resized as needed (nil
+// allocates a fresh image; imaging.GetBinary hands back a pooled one).
+// dst must not alias src. It returns dst, so the per-frame hot path can
+// recycle the skeleton buffer instead of cloning the silhouette every
+// frame.
+func ThinInto(dst *imaging.Binary, src *imaging.Binary, alg Algorithm) *imaging.Binary {
+	if dst == nil {
+		dst = &imaging.Binary{}
+	}
+	dst.W, dst.H = src.W, src.H
+	if need := src.W * src.H; cap(dst.Pix) < need {
+		dst.Pix = make([]uint8, need)
+	} else {
+		dst.Pix = dst.Pix[:need]
+	}
 	switch alg {
 	case GuoHall:
-		img := src.Clone()
-		thinGuoHall(img)
-		return img
+		copy(dst.Pix, src.Pix)
+		thinGuoHall(dst)
 	case MedialAxis:
-		return medialAxis(src)
+		m := medialAxis(src)
+		copy(dst.Pix, m.Pix)
 	default:
-		img := src.Clone()
-		thinZhangSuen(img)
-		return img
+		copy(dst.Pix, src.Pix)
+		thinZhangSuen(dst)
 	}
+	return dst
 }
 
 // neighborhood gathers the classical P2..P9 neighbourhood of (x, y) in
