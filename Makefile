@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race test-race bench bench-json experiments figures fuzz clean
+.PHONY: all build vet sljcheck lint test race test-race bench bench-json experiments figures fuzz clean
 
-all: build vet test
+all: build lint test
 
 build:
 	go build ./...
@@ -10,11 +10,18 @@ build:
 vet:
 	go vet ./...
 
+# Project-specific analyzers (pooldiscipline, maporder, syncmisuse) —
+# see DESIGN.md §8 and `go run ./cmd/sljcheck -list`.
+sljcheck:
+	go run ./cmd/sljcheck ./...
+
+lint: vet sljcheck
+
 test:
 	go test ./...
 
 race:
-	go test -race ./internal/extract/ ./internal/bayes/ ./internal/dbn/ ./internal/track/ .
+	go test -race ./internal/extract/ ./internal/bayes/ ./internal/dbn/ ./internal/track/ ./internal/parallel/ .
 
 # Full race sweep — every package, including the parallel engine's golden
 # tests. Slower than `race`; run before merging concurrency changes.

@@ -232,6 +232,7 @@ func (s *System) AnalyzeSilhouette(sil *imaging.Binary) FrameAnalysis {
 	// through the imaging buffer pool so per-frame analysis does not
 	// allocate a fresh image per frame. On the error path the buffer
 	// escapes into fa.Skeleton and is simply never returned to the pool.
+	//slj:pool-escapes ThinInto returns dst: skel IS the pooled buffer, Put below
 	skel := thinning.ThinInto(imaging.GetBinary(sil.W, sil.H), sil, s.opts.Thinning)
 	g, err := skelgraph.Build(skel)
 	if err != nil {

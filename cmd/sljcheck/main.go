@@ -1,0 +1,102 @@
+// Command sljcheck is the project's static-analysis multichecker. It
+// runs the three invariant analyzers — pooldiscipline, maporder, and
+// syncmisuse (see DESIGN.md §8) — over the module's packages and exits
+// non-zero if any finding survives.
+//
+// Usage:
+//
+//	go run ./cmd/sljcheck [-run name,name] [package patterns]
+//
+// Patterns default to ./... relative to the enclosing module. Findings
+// print as file:line:col: analyzer: message. Intentional violations are
+// suppressed in source with //slj:<annotation> comments; each analyzer's
+// package doc lists its annotation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/pooldiscipline"
+	"repro/internal/analysis/syncmisuse"
+)
+
+var all = []*analysis.Analyzer{
+	maporder.Analyzer,
+	pooldiscipline.Analyzer,
+	syncmisuse.Analyzer,
+}
+
+func main() {
+	runList := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sljcheck [-run name,name] [packages]\n\nanalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *runList != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*runList, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "sljcheck: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sljcheck:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sljcheck:", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	wd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sljcheck: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

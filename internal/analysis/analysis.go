@@ -1,0 +1,163 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// modelled on golang.org/x/tools/go/analysis, which is not vendored in
+// this module. It provides just enough structure for the project-specific
+// checkers under internal/analysis/... and the cmd/sljcheck multichecker:
+// a Loader that parses and type-checks packages from source using only the
+// standard library, an Analyzer/Pass/Diagnostic trio, and (in the sibling
+// atest package) a fixture runner in the style of analysistest.
+//
+// The analyzers enforce invariants the test suite can only spot-check:
+//
+//   - pooldiscipline: every imaging.Get* buffer is Put back (or its escape
+//     is annotated //slj:pool-escapes), and never touched after Put.
+//   - maporder: no map iteration order leaks into encoders, writers,
+//     hashes, or collected slices that cross a function boundary — the
+//     determinism contract behind model format v2 and the experiment
+//     writers.
+//   - syncmisuse: no locks copied by value, no goroutines writing shared
+//     state without an index-disjoint or synchronised pattern.
+//
+// See DESIGN.md §8 for the invariant catalogue and annotation grammar.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. Run inspects a fully type-checked
+// package via the Pass and reports findings through Pass.Report.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is a one-paragraph description (first line = summary).
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	annots map[annotKey]bool // lazily built //slj: annotation index
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ObjectOf returns the object denoted by ident, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// annotKey addresses an //slj: annotation by file and line.
+type annotKey struct {
+	file string
+	line int
+	name string
+}
+
+// AnnotationPrefix introduces suppression comments, e.g.
+// "//slj:pool-escapes" or "//slj:map-ordered". The annotation applies to
+// findings on the same source line or the line directly below it (so it
+// can sit on its own line above the flagged statement).
+const AnnotationPrefix = "//slj:"
+
+// Annotated reports whether an //slj:<name> comment covers pos: the
+// comment sits on the same line as pos or on the line immediately above.
+func (p *Pass) Annotated(pos token.Pos, name string) bool {
+	if p.annots == nil {
+		p.annots = map[annotKey]bool{}
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, AnnotationPrefix)
+					if !ok {
+						continue
+					}
+					// Keep only the annotation word; anything after a space
+					// is free-form rationale.
+					word, _, _ := strings.Cut(text, " ")
+					cp := p.Fset.Position(c.Pos())
+					// Cover the comment's own line and the next line.
+					p.annots[annotKey{cp.Filename, cp.Line, word}] = true
+					p.annots[annotKey{cp.Filename, cp.Line + 1, word}] = true
+				}
+			}
+		}
+	}
+	at := p.Fset.Position(pos)
+	return p.annots[annotKey{at.Filename, at.Line, name}]
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Syntax,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Pos:      token.Position{Filename: pkg.PkgPath},
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf("internal error: %v", err),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,103 @@
+// Package atest runs an analyzer over GOPATH-style fixture packages in
+// the manner of golang.org/x/tools/go/analysis/analysistest: fixture
+// sources live under <testdata>/src/<pkgpath>, and every line that should
+// produce a finding carries a trailing comment of the form
+//
+//	// want "regexp"
+//
+// (several quoted regexps may follow one want). The test fails on any
+// finding without a matching want and any want without a matching
+// finding, so fixtures double as both true-positive and clean-case
+// documentation.
+package atest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type key struct {
+	file string
+	line int
+}
+
+// Run loads the fixture package pkgPath from testdata/src and checks a's
+// findings against the fixture's want comments.
+func Run(t *testing.T, testdata, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	loader, err := analysis.NewLoader(testdata)
+	if err != nil {
+		t.Fatalf("atest: %v", err)
+	}
+	src, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("atest: %v", err)
+	}
+	loader.ExtraRoots = []string{src}
+	pkg, err := loader.LoadTarget(pkgPath, filepath.Join(src, filepath.FromSlash(pkgPath)))
+	if err != nil {
+		t.Fatalf("atest: loading fixture %s: %v", pkgPath, err)
+	}
+
+	// Collect expectations from comments.
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		if i := matchWant(wants[k], d.Message); i >= 0 {
+			wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+			continue
+		}
+		t.Errorf("%s: unexpected finding: %s", posLabel(d.Pos.Filename, d.Pos.Line), d.Message)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s: no finding matched want %q", posLabel(k.file, k.line), re)
+		}
+	}
+}
+
+func matchWant(res []*regexp.Regexp, msg string) int {
+	for i, re := range res {
+		if re.MatchString(msg) {
+			return i
+		}
+	}
+	return -1
+}
+
+func posLabel(file string, line int) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(file), line)
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadModulePackages proves the source loader can resolve and fully
+// type-check real module packages (and their stdlib closure) without any
+// external tooling.
+func TestLoadModulePackages(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath != "repro" {
+		t.Fatalf("module path = %q, want repro", l.ModulePath)
+	}
+	pkgs, err := l.Load(
+		filepath.Join(l.ModuleDir, "internal/extract"),
+		filepath.Join(l.ModuleDir, "internal/imaging"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+	}
+	img := byPath["repro/internal/imaging"]
+	if img == nil {
+		t.Fatal("imaging package not loaded")
+	}
+	if obj := img.Types.Scope().Lookup("GetBinary"); obj == nil {
+		t.Error("imaging.GetBinary not found in type info")
+	}
+	ext := byPath["repro/internal/extract"]
+	if ext == nil {
+		t.Fatal("extract package not loaded")
+	}
+	// Full bodies: the Info maps must cover expressions inside functions.
+	if len(ext.Info.Uses) == 0 {
+		t.Error("extract package has empty Uses map — bodies not checked")
+	}
+	// Spot-check cross-package type resolution.
+	obj := ext.Types.Scope().Lookup("Extractor")
+	if obj == nil {
+		t.Fatal("extract.Extractor not found")
+	}
+	if _, ok := obj.Type().Underlying().(*types.Struct); !ok {
+		t.Errorf("extract.Extractor is %T, want struct", obj.Type().Underlying())
+	}
+}
+
+// TestLoadWholeModule loads every package in the repo, which is what
+// cmd/sljcheck does on each CI run.
+func TestLoadWholeModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load in -short mode")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(l.ModuleDir + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages from ./...", len(pkgs))
+	}
+}

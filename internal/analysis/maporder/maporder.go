@@ -1,0 +1,238 @@
+// Package maporder guards the pipeline's determinism contract: map
+// iteration order must never reach bytes that leave the process or data
+// that crosses a function boundary. Model format v2 (internal/dbn) and
+// the parallel-vs-sequential golden tests both depend on identical
+// inputs producing identical bytes, and `for k := range m` is the one
+// construct in the codebase that silently breaks that.
+//
+// Inside the body of a `range` over a map the analyzer flags:
+//
+//   - calls that emit bytes in iteration order — Fprint*/Print*/Write*/
+//     Encode*/Marshal*/Sum*/Hash* — unless the destination (receiver or
+//     writer argument) is itself declared inside the loop body, in which
+//     case each iteration formats independently and order cannot leak;
+//   - appends to a slice declared outside the loop, unless the slice is
+//     passed to a sort.*/slices.* call after the loop (the
+//     collect-then-sort idiom used by dbn.Save and experiments.Names).
+//
+// `//slj:map-ordered` on the offending line (or the line above) records
+// that ordering was considered and is harmless — e.g. the loop feeds a
+// commutative reduction this analyzer cannot prove.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Annotation is the suppression annotation honoured by this analyzer.
+const Annotation = "map-ordered"
+
+// Analyzer flags map iteration order leaking into serialized output.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "check that map iteration order cannot reach encoders, writers, hashes, or unsorted collected slices",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if pass.Annotated(rng.Pos(), Annotation) {
+			return false
+		}
+		checkMapRange(pass, body, rng)
+		return true // nested ranges are checked independently
+	})
+}
+
+// appendSite is one `s = append(s, ...)` inside a map range whose target
+// is declared outside the loop.
+type appendSite struct {
+	pos    ast.Node
+	target string // types.ExprString of the appended slice
+}
+
+func checkMapRange(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	var appends []appendSite
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkSinkCall(pass, rng, n)
+		case *ast.AssignStmt:
+			if site, ok := appendToOuter(pass, rng, n); ok {
+				appends = append(appends, site)
+			}
+		}
+		return true
+	})
+	for _, site := range appends {
+		if sortedAfter(pass, fnBody, rng, site.target) {
+			continue
+		}
+		if pass.Annotated(site.pos.Pos(), Annotation) {
+			continue
+		}
+		pass.Reportf(site.pos.Pos(), "%s accumulates entries in map iteration order and is never sorted afterwards; sort it after the loop or annotate //slj:map-ordered", site.target)
+	}
+}
+
+// checkSinkCall flags emit-in-order calls inside the range body.
+func checkSinkCall(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	name := pass.CalleeName(call)
+	if !sinkName(name) {
+		return
+	}
+	// Find where the bytes go: the receiver for methods, the writer
+	// argument for the Fprint family, stdout for the Print family.
+	var dest ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isPkg := pass.ObjectOf(rootIdent(sel.X)).(*types.PkgName); isPkg {
+			switch {
+			case strings.HasPrefix(name, "Fprint") && len(call.Args) > 0:
+				dest = call.Args[0]
+			case strings.HasPrefix(name, "Print"):
+				dest = nil // stdout: always a sink
+			case len(call.Args) > 0:
+				dest = call.Args[0] // e.g. binary.Write(w, ...), gob.NewEncoder(w)
+			}
+		} else {
+			dest = sel.X // method receiver
+		}
+	}
+	if dest != nil {
+		if obj := pass.ObjectOf(rootIdent(dest)); analysis.DeclaredWithin(obj, rng.Body) {
+			return // per-iteration destination; order cannot leak out
+		}
+	}
+	if pass.Annotated(call.Pos(), Annotation) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s emits bytes in map iteration order, which is nondeterministic; iterate over sorted keys or annotate //slj:map-ordered", name)
+}
+
+// appendToOuter matches `s = append(s, ...)` where s is declared outside
+// the range statement.
+func appendToOuter(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt) (appendSite, bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return appendSite{}, false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return appendSite{}, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return appendSite{}, false
+	}
+	if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); !isBuiltin {
+		return appendSite{}, false
+	}
+	switch lhs := as.Lhs[0].(type) {
+	case *ast.Ident:
+		obj := pass.ObjectOf(lhs)
+		if obj == nil || analysis.DeclaredWithin(obj, rng) {
+			return appendSite{}, false
+		}
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		// Fields and elements are storage that outlives the loop.
+	default:
+		return appendSite{}, false
+	}
+	return appendSite{pos: as, target: types.ExprString(as.Lhs[0])}, true
+}
+
+// sortedAfter reports whether target is handed to a sort.*/slices.* call
+// in the function after the range loop ends.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, target string) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			a := ast.Unparen(arg)
+			if u, ok := a.(*ast.UnaryExpr); ok {
+				a = ast.Unparen(u.X)
+			}
+			if types.ExprString(a) == target {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sinkName matches functions and methods that emit bytes or accumulate
+// hashes in call order.
+func sinkName(name string) bool {
+	for _, prefix := range []string{"Fprint", "Print", "Write", "Encode", "Marshal", "Sum", "Hash"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent strips selectors, indexing, derefs, and parens down to the
+// base identifier, or returns nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}

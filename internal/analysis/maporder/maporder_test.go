@@ -1,0 +1,11 @@
+package maporder
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+)
+
+func TestMapOrder(t *testing.T) {
+	atest.Run(t, "testdata", "maps", Analyzer)
+}

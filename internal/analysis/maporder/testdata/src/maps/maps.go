@@ -1,0 +1,117 @@
+// Package maps is the maporder fixture: map ranges feeding writers,
+// encoders, and collected slices, in flagged, clean, and annotated
+// variants.
+package maps
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// --- true positives -------------------------------------------------
+
+func writeEntries(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "Fprintf emits bytes in map iteration order"
+	}
+}
+
+func collectKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "keys accumulates entries in map iteration order"
+	}
+	return keys
+}
+
+func buildString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "WriteString emits bytes in map iteration order"
+	}
+	return b.String()
+}
+
+type result struct {
+	Rows []string
+}
+
+func collectField(m map[string]int, r *result) {
+	for k := range m {
+		r.Rows = append(r.Rows, k) // want "r.Rows accumulates entries in map iteration order"
+	}
+}
+
+func printKeys(m map[string]bool) {
+	for k := range m {
+		fmt.Println(k) // want "Println emits bytes in map iteration order"
+	}
+}
+
+// --- clean ----------------------------------------------------------
+
+// collectSortedKeys is the collect-then-sort idiom of experiments.Names
+// and dbn's model writer: the append is order-blind because the slice is
+// sorted before anyone sees it.
+func collectSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sumValues only feeds commutative reductions; nothing ordered leaves
+// the loop.
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// perIterationBuffer writes into a builder declared inside the loop
+// body, so each iteration's bytes are independent of iteration order.
+func perIterationBuffer(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s=%d", k, v)
+		out[k] = b.String()
+	}
+	return out
+}
+
+// invertMap writes a map keyed by loop values; map writes commute.
+func invertMap(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// --- annotated ------------------------------------------------------
+
+// annotatedDebugDump intentionally prints in arbitrary order (debug
+// output only); the annotation records that decision.
+func annotatedDebugDump(w io.Writer, m map[string]int) {
+	//slj:map-ordered debug-only dump, order is irrelevant
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// annotatedAppend collects into a slice whose order is rehashed by the
+// consumer; the annotation sits on the append itself.
+func annotatedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //slj:map-ordered consumer treats this as a set
+	}
+	return keys
+}

@@ -1,0 +1,11 @@
+package pooldiscipline
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+)
+
+func TestPoolDiscipline(t *testing.T) {
+	atest.Run(t, "testdata", "pool", Analyzer)
+}

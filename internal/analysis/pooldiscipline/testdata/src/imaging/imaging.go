@@ -1,0 +1,29 @@
+// Package imaging is a fixture stub mirroring the pool API of
+// repro/internal/imaging; the pooldiscipline analyzer matches pool
+// helpers by package name and function name, so fixtures can exercise it
+// without importing the real package.
+package imaging
+
+type Binary struct {
+	W, H int
+	Pix  []uint8
+}
+
+type Gray struct {
+	W, H int
+	Pix  []uint8
+}
+
+type RGB struct {
+	W, H int
+	Pix  []uint8
+}
+
+func GetBinary(w, h int) *Binary { return &Binary{W: w, H: h, Pix: make([]uint8, w*h)} }
+func PutBinary(b *Binary)        {}
+
+func GetGray(w, h int) *Gray { return &Gray{W: w, H: h, Pix: make([]uint8, w*h)} }
+func PutGray(g *Gray)        {}
+
+func GetRGB(w, h int) *RGB { return &RGB{W: w, H: h, Pix: make([]uint8, 3*w*h)} }
+func PutRGB(m *RGB)        {}

@@ -1,0 +1,11 @@
+package syncmisuse
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+)
+
+func TestSyncMisuse(t *testing.T) {
+	atest.Run(t, "testdata", "syncfix", Analyzer)
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WalkStack traverses the AST rooted at n, invoking f with each node and
+// the full ancestor stack (stack[len(stack)-1] == the node itself). When
+// f returns false the node's children are skipped.
+func WalkStack(n ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	v := &stackVisitor{f: f}
+	ast.Walk(v, n)
+}
+
+type stackVisitor struct {
+	stack []ast.Node
+	f     func(n ast.Node, stack []ast.Node) bool
+}
+
+func (v *stackVisitor) Visit(n ast.Node) ast.Visitor {
+	if n == nil {
+		v.stack = v.stack[:len(v.stack)-1]
+		return nil
+	}
+	v.stack = append(v.stack, n)
+	if !v.f(n, v.stack) {
+		// Children are skipped, so ast.Walk will not deliver the closing
+		// Visit(nil); pop eagerly.
+		v.stack = v.stack[:len(v.stack)-1]
+		return nil
+	}
+	return v
+}
+
+// CalleeFunc resolves the called function object of call, looking through
+// package qualifiers and method selectors. Returns nil for builtins,
+// function-typed variables, and type conversions.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// CalleeName returns the bare name of whatever call invokes (function,
+// method, builtin, or conversion), or "".
+func (p *Pass) CalleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// Within reports whether pos lies inside node's source range.
+func Within(pos ast.Node, outer ast.Node) bool {
+	return pos.Pos() >= outer.Pos() && pos.Pos() < outer.End()
+}
+
+// DeclaredWithin reports whether obj's declaration lies inside node.
+func DeclaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}

@@ -368,6 +368,7 @@ func (e *Extractor) Smooth(raw *imaging.Binary) *imaging.Binary {
 		cur = next
 	}
 	if e.opts.MedianKernel > 0 {
+		//slj:pool-escapes MedianFilterBinaryInto returns dst; a later step (or the caller) Puts it
 		step(imaging.MedianFilterBinaryInto(imaging.GetBinary(cur.W, cur.H), cur, e.opts.MedianKernel))
 	}
 	if e.opts.FillHoles {

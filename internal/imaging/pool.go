@@ -11,6 +11,15 @@
 // elsewhere is the classic aliasing bug; when in doubt, don't Put. Pooled
 // buffers that escape to callers are simply never returned, which is
 // always safe.
+//
+// Two layers defend the contract. Statically, the pooldiscipline
+// analyzer (cmd/sljcheck, DESIGN.md §8) rejects Gets without a Put and
+// uses after Put. Dynamically, each image carries a pooled flag so a
+// double Put within one goroutine degrades to a no-op instead of
+// handing the same buffer to two future Gets. The flag is best-effort
+// only — a racing Get on another goroutine can clear it between the two
+// Puts — but it converts the common single-threaded misuse from silent
+// frame corruption into a mere missed recycle.
 
 package imaging
 
@@ -40,16 +49,19 @@ func GetBinary(w, h int) *Binary {
 		panic("imaging.GetBinary: non-positive dimensions")
 	}
 	b := binaryPool.Get().(*Binary)
+	b.pooled = false
 	b.W, b.H = w, h
 	b.Pix = grab(b.Pix, w*h)
 	return b
 }
 
-// PutBinary returns a binary image to the pool. nil is ignored.
+// PutBinary returns a binary image to the pool. nil and double Puts are
+// ignored.
 func PutBinary(b *Binary) {
-	if b == nil {
+	if b == nil || b.pooled {
 		return
 	}
+	b.pooled = true
 	binaryPool.Put(b)
 }
 
@@ -60,16 +72,19 @@ func GetGray(w, h int) *Gray {
 		panic("imaging.GetGray: non-positive dimensions")
 	}
 	g := grayPool.Get().(*Gray)
+	g.pooled = false
 	g.W, g.H = w, h
 	g.Pix = grab(g.Pix, w*h)
 	return g
 }
 
-// PutGray returns a grayscale image to the pool. nil is ignored.
+// PutGray returns a grayscale image to the pool. nil and double Puts are
+// ignored.
 func PutGray(g *Gray) {
-	if g == nil {
+	if g == nil || g.pooled {
 		return
 	}
+	g.pooled = true
 	grayPool.Put(g)
 }
 
@@ -80,15 +95,18 @@ func GetRGB(w, h int) *RGB {
 		panic("imaging.GetRGB: non-positive dimensions")
 	}
 	m := rgbPool.Get().(*RGB)
+	m.pooled = false
 	m.W, m.H = w, h
 	m.Pix = grab(m.Pix, 3*w*h)
 	return m
 }
 
-// PutRGB returns a colour image to the pool. nil is ignored.
+// PutRGB returns a colour image to the pool. nil and double Puts are
+// ignored.
 func PutRGB(m *RGB) {
-	if m == nil {
+	if m == nil || m.pooled {
 		return
 	}
+	m.pooled = true
 	rgbPool.Put(m)
 }

@@ -73,6 +73,112 @@ func TestPutNilIsNoop(t *testing.T) {
 	PutRGB(nil)
 }
 
+// TestPutResizedBuffer returns a buffer whose caller mangled the
+// dimensions and pixel slice before Put; the next Get must still hand
+// out an exact-size, zeroed image.
+func TestPutResizedBuffer(t *testing.T) {
+	b := GetBinary(8, 8)
+	b.Pix = b.Pix[:16]
+	b.W, b.H = 4, 4
+	for i := range b.Pix {
+		b.Pix[i] = 3
+	}
+	PutBinary(b)
+	c := GetBinary(8, 8)
+	if c.W != 8 || c.H != 8 || len(c.Pix) != 64 {
+		t.Fatalf("after resized Put: got %dx%d len %d", c.W, c.H, len(c.Pix))
+	}
+	for i, v := range c.Pix {
+		if v != 0 {
+			t.Fatalf("after resized Put: pixel %d = %d, want 0", i, v)
+		}
+	}
+	PutBinary(c)
+}
+
+// TestDoublePutDoesNotAlias double-Puts one buffer and then draws two
+// from the pool: they must be distinct images with distinct backing
+// storage, not the same buffer handed out twice.
+func TestDoublePutDoesNotAlias(t *testing.T) {
+	b := GetBinary(6, 6)
+	PutBinary(b)
+	PutBinary(b) // contract violation: must degrade to a no-op
+
+	b1 := GetBinary(6, 6)
+	b2 := GetBinary(6, 6)
+	if b1 == b2 {
+		t.Fatal("double Put made the pool issue the same *Binary twice")
+	}
+	b1.Pix[0] = 7
+	if b2.Pix[0] != 0 {
+		t.Fatal("double Put aliased the backing arrays of two live buffers")
+	}
+	PutBinary(b1)
+	PutBinary(b2)
+
+	g := GetGray(3, 3)
+	PutGray(g)
+	PutGray(g)
+	g1, g2 := GetGray(3, 3), GetGray(3, 3)
+	if g1 == g2 {
+		t.Fatal("double PutGray issued the same *Gray twice")
+	}
+	PutGray(g1)
+	PutGray(g2)
+
+	m := GetRGB(3, 3)
+	PutRGB(m)
+	PutRGB(m)
+	m1, m2 := GetRGB(3, 3), GetRGB(3, 3)
+	if m1 == m2 {
+		t.Fatal("double PutRGB issued the same *RGB twice")
+	}
+	PutRGB(m1)
+	PutRGB(m2)
+}
+
+// TestGetUnderPoolPressure drains the pool by holding many buffers live
+// at once: every concurrently issued buffer must be exact-size, zeroed,
+// and disjoint from all the others — writing through one must never show
+// up in another.
+func TestGetUnderPoolPressure(t *testing.T) {
+	const n = 32
+	bufs := make([]*Binary, n)
+	for i := range bufs {
+		bufs[i] = GetBinary(10, 10)
+	}
+	for i, b := range bufs {
+		if b.W != 10 || b.H != 10 || len(b.Pix) != 100 {
+			t.Fatalf("buffer %d: got %dx%d len %d", i, b.W, b.H, len(b.Pix))
+		}
+		for p := range b.Pix {
+			b.Pix[p] = uint8(i + 1)
+		}
+	}
+	for i, b := range bufs {
+		for p, v := range b.Pix {
+			if v != uint8(i+1) {
+				t.Fatalf("buffer %d aliased: pixel %d = %d, want %d", i, p, v, i+1)
+			}
+		}
+	}
+	// Recycle everything, then draw again at a different size: still
+	// zeroed, still disjoint.
+	for _, b := range bufs {
+		PutBinary(b)
+	}
+	a, b := GetBinary(5, 7), GetBinary(5, 7)
+	if a == b {
+		t.Fatal("pool issued the same buffer to two consecutive Gets")
+	}
+	a.Pix[0] = 9
+	if b.Pix[0] != 0 {
+		t.Fatal("consecutively issued buffers alias")
+	}
+	PutBinary(a)
+	PutBinary(b)
+}
+
 func TestBoxAverageRGBIntoMatchesAlloc(t *testing.T) {
 	src := NewRGB(37, 23)
 	for i := range src.Pix {

@@ -266,16 +266,23 @@ func (g *Graph) Components() [][]int {
 		}
 	}
 	groups := make(map[int][]int)
+	// Collect components in order of their lowest node index so the
+	// result (and every tie-break downstream, e.g. in
+	// LargestComponentNodes) is deterministic.
+	var roots []int
 	for i := range g.Nodes {
 		if g.Degree(i) == 0 {
 			continue
 		}
 		r := uf.find(i)
+		if _, seen := groups[r]; !seen {
+			roots = append(roots, r)
+		}
 		groups[r] = append(groups[r], i)
 	}
 	out := make([][]int, 0, len(groups))
-	for _, v := range groups {
-		out = append(out, v)
+	for _, r := range roots {
+		out = append(out, groups[r])
 	}
 	return out
 }
