@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet sljcheck lint test race test-race bench bench-json experiments figures fuzz clean
+.PHONY: all build vet sljcheck lint test race test-race bench bench-json bench-smoke experiments figures fuzz clean
 
 all: build lint test
 
@@ -36,6 +36,15 @@ bench:
 bench-json:
 	go test -bench . -benchmem -run '^$$' ./... | tee bench_output.txt | go run ./cmd/benchjson > BENCH_$$(date +%F).json
 
+# CI smoke: a single-iteration benchmark pass over the hot packages plus
+# a metrics snapshot from an instrumented mini evaluation. Produces
+# BENCH_smoke.json and metrics_snapshot.json for artifact upload.
+bench-smoke:
+	go test -bench . -benchmem -benchtime 1x -run '^$$' . ./internal/parallel/ ./internal/thinning/ | tee bench_output.txt | go run ./cmd/benchjson > BENCH_smoke.json
+	go run ./cmd/sljgen -out smoke_data -train 2 -test 1
+	go run ./cmd/sljeval -data smoke_data -workers 4 -metrics-out metrics_snapshot.json > /dev/null
+	rm -rf smoke_data
+
 # Regenerate every paper figure/result at full size (see DESIGN.md §4).
 experiments:
 	go run ./cmd/sljexp -exp all -artifacts figures/ | tee results_full.txt
@@ -51,4 +60,4 @@ fuzz:
 	go test -fuzz FuzzReader -fuzztime 10s ./internal/video/
 
 clean:
-	rm -rf figures/ results_full.txt test_output.txt bench_output.txt
+	rm -rf figures/ results_full.txt test_output.txt bench_output.txt smoke_data BENCH_smoke.json metrics_snapshot.json

@@ -11,6 +11,7 @@ import (
 	"repro/internal/ga"
 	"repro/internal/imaging"
 	"repro/internal/keypoint"
+	"repro/internal/obs"
 	"repro/internal/pose"
 	"repro/internal/scoring"
 	"repro/internal/skelgraph"
@@ -112,6 +113,11 @@ type Options struct {
 	AutoOrient bool
 	// GA tunes the GA front end; zero fields take package ga defaults.
 	GA ga.Config
+	// Scope instruments the pipeline (per-stage latency histograms,
+	// health counters, span tracing — see internal/obs and DESIGN.md §9).
+	// nil (the default) disables all instrumentation at zero cost and
+	// leaves outputs bit-identical.
+	Scope *obs.Scope
 }
 
 // Option mutates Options.
@@ -156,6 +162,11 @@ func WithROITracking(v bool) Option { return func(o *Options) { o.UseROITracking
 // WithGAConfig tunes the GA front end.
 func WithGAConfig(cfg ga.Config) Option { return func(o *Options) { o.GA = cfg } }
 
+// WithObservability attaches an observability scope (see internal/obs):
+// stage spans, health counters and — through the scope's registry —
+// expvar/JSON metric export. A nil scope is valid and means "off".
+func WithObservability(sc *obs.Scope) Option { return func(o *Options) { o.Scope = sc } }
+
 // FrameAnalysis is everything the vision front end derives from a frame.
 type FrameAnalysis struct {
 	// Silhouette is the extracted (or ground-truth) figure mask.
@@ -197,6 +208,15 @@ func NewSystem(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("slj: %w", err)
 	}
+	ex.SetScope(o.Scope)
+	if reg := o.Scope.Registry(); reg != nil {
+		// Bridge the imaging buffer-pool counters (package globals — the
+		// pool itself is a global) into this scope's registry as pull
+		// metrics, read at snapshot time.
+		reg.RegisterFunc("imaging.pool.hits", func() int64 { h, _, _ := imaging.PoolCounters(); return h })
+		reg.RegisterFunc("imaging.pool.misses", func() int64 { _, m, _ := imaging.PoolCounters(); return m })
+		reg.RegisterFunc("imaging.pool.double_puts", func() int64 { _, _, d := imaging.PoolCounters(); return d })
+	}
 	cfg := dbn.DefaultConfig()
 	if o.Classifier != nil {
 		cfg = *o.Classifier
@@ -227,34 +247,72 @@ func (s *System) AnalyzeSilhouette(sil *imaging.Binary) FrameAnalysis {
 	if s.opts.FrontEnd == FrontEndGA {
 		return s.analyzeGA(fa, sil)
 	}
+	sc := s.opts.Scope
+	sc.FrameDone()
 	// The raw thinning result is only an intermediate: once the graph is
 	// built, the reported skeleton is re-rasterised from the graph. Run it
 	// through the imaging buffer pool so per-frame analysis does not
 	// allocate a fresh image per frame. On the error path the buffer
 	// escapes into fa.Skeleton and is simply never returned to the pool.
-	//slj:pool-escapes ThinInto returns dst: skel IS the pooled buffer, Put below
-	skel := thinning.ThinInto(imaging.GetBinary(sil.W, sil.H), sil, s.opts.Thinning)
+	sp := sc.Start(obs.StageThin)
+	//slj:pool-escapes ThinIntoCounted returns dst: skel IS the pooled buffer, Put below
+	skel, passes := thinning.ThinIntoCounted(imaging.GetBinary(sil.W, sil.H), sil, s.opts.Thinning)
+	sp.End()
+	sc.ThinPasses(passes)
+	sp = sc.Start(obs.StageGraph)
 	g, err := skelgraph.Build(skel)
 	if err != nil {
+		sp.End()
+		sc.GraphFail()
 		fa.Skeleton = skel
 		return fa
 	}
 	imaging.PutBinary(skel)
-	g.Prune(s.opts.PruneLen)
+	sc.Pruned(g.Prune(s.opts.PruneLen))
+	sp.End()
+	sc.GraphStats(g.Stats.LoopsCut, g.Stats.JunctionsRemoved)
 	fa.Graph = g
 	fa.Skeleton = g.ToBinary()
+	sp = sc.Start(obs.StageKeyPoint)
 	kp, err := keypoint.FromGraph(g)
 	if err != nil {
+		sp.End()
+		sc.KeyPointMiss(errors.Is(err, keypoint.ErrDegenerate), errors.Is(err, keypoint.ErrNoTorso))
 		return fa
 	}
 	enc, err := keypoint.EncodeRadial(kp, s.opts.Partitions, s.opts.Rings)
+	sp.End()
 	if err != nil {
+		sc.KeyPointMiss(false, false)
 		return fa
+	}
+	if kp.HandAbsent() {
+		sc.HandAbsent()
 	}
 	fa.KeyPoints = kp
 	fa.KeyPointsOK = true
 	fa.Encoding = enc
 	return fa
+}
+
+// observeClip relabels the system's scope (and its extractor's) with the
+// clip name for the duration of one clip; the returned func restores the
+// parent scope. A System processes one clip at a time — the Engine pools
+// whole Systems rather than sharing one — so the swap is race-free: it
+// happens before any pipelined goroutines start and is undone after they
+// have all joined.
+func (s *System) observeClip(name string) func() {
+	sc := s.opts.Scope
+	if sc == nil {
+		return func() {}
+	}
+	labelled := sc.WithClip(name)
+	s.opts.Scope = labelled
+	s.extractor.SetScope(labelled)
+	return func() {
+		s.opts.Scope = sc
+		s.extractor.SetScope(sc)
+	}
 }
 
 // analyzeGA fits the stick model to the silhouette and derives key
@@ -405,6 +463,7 @@ func jumpGoesLeft(sils []*imaging.Binary) bool {
 // TrainClip feeds one labelled clip through the front end and into the
 // DBN bank (the paper's training phase).
 func (s *System) TrainClip(lc dataset.LabeledClip) error {
+	defer s.observeClip(lc.Name)()
 	fas, err := s.analyzeClip(lc)
 	if err != nil {
 		return err
@@ -434,6 +493,7 @@ func (s *System) Train(clips []dataset.LabeledClip) error {
 
 // ClassifyClip decodes one clip into per-frame results.
 func (s *System) ClassifyClip(lc dataset.LabeledClip) ([]dbn.Result, error) {
+	defer s.observeClip(lc.Name)()
 	fas, err := s.analyzeClip(lc)
 	if err != nil {
 		return nil, err
@@ -442,7 +502,7 @@ func (s *System) ClassifyClip(lc dataset.LabeledClip) ([]dbn.Result, error) {
 	for i, fa := range fas {
 		encs[i] = fa.Encoding
 	}
-	res, err := s.classifier.ClassifySequence(encs)
+	res, err := s.classifier.ClassifySequenceScoped(encs, s.opts.Scope)
 	if err != nil {
 		return nil, fmt.Errorf("slj: classifying %s: %w", lc.Name, err)
 	}

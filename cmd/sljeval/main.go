@@ -18,6 +18,7 @@ import (
 
 	slj "repro"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -31,17 +32,23 @@ func main() {
 		viterbi = flag.Bool("viterbi", false, "also report joint Viterbi decoding (the EXT3 extension)")
 		workers = flag.Int("workers", 1, "clip-evaluation workers (1 sequential, 0 or -1 all CPUs); results are identical at any setting")
 	)
+	var ocli obs.CLI
+	ocli.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *data == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	scope, err := ocli.Start()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	ds, err := dataset.Load(*data)
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := slj.NewEngine(*workers)
+	eng, err := slj.NewEngine(*workers, slj.WithObservability(scope))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,5 +99,9 @@ func main() {
 		}
 		fmt.Println("\nViterbi joint decoding (EXT3 extension):")
 		fmt.Print(vsum.Table())
+	}
+
+	if err := ocli.Stop(); err != nil {
+		log.Fatal(err)
 	}
 }

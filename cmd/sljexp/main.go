@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,11 +29,17 @@ func main() {
 		seed      = flag.Int64("seed", 2008, "experiment seed")
 		quick     = flag.Bool("quick", false, "reduced workloads")
 		artifacts = flag.String("artifacts", "", "directory for figure image/dot artifacts (optional)")
-		workers   = flag.Int("workers", 0, "clip-evaluation workers for sec5/cv (0 sequential, -1 all CPUs); results are identical at any setting")
+		workers   = flag.Int("workers", 0, "clip-evaluation workers for sec5/cv and the ext sweeps (0 sequential, -1 all CPUs); results are identical at any setting")
 	)
+	var ocli obs.CLI
+	ocli.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	scope, err := ocli.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, ArtifactDir: *artifacts, Workers: *workers}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, ArtifactDir: *artifacts, Workers: *workers, Obs: scope}
 	names := experiments.Names()
 	if *exp != "all" {
 		names = strings.Split(*exp, ",")
@@ -47,6 +54,9 @@ func main() {
 			continue
 		}
 		fmt.Printf("================ %s ================\n%s\n", name, res)
+	}
+	if err := ocli.Stop(); err != nil {
+		log.Fatal(err)
 	}
 	if failed {
 		os.Exit(1)

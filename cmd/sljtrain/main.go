@@ -14,6 +14,7 @@ import (
 
 	slj "repro"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,10 +27,16 @@ func main() {
 		partitions = flag.Int("partitions", 8, "feature-encoding areas")
 		gtSil      = flag.Bool("gt-silhouettes", false, "bypass extraction and use ground-truth silhouettes")
 	)
+	var ocli obs.CLI
+	ocli.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *data == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	scope, err := ocli.Start()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	ds, err := dataset.Load(*data)
@@ -48,6 +55,7 @@ func main() {
 	sys, err := slj.NewSystem(
 		slj.WithPartitions(*partitions),
 		slj.WithGroundTruthSilhouettes(*gtSil),
+		slj.WithObservability(scope),
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -69,4 +77,7 @@ func main() {
 	trainFrames, _ := ds.TotalFrames()
 	fmt.Printf("trained on %d clips (%d frames); model written to %s\n",
 		len(ds.Train), trainFrames, *out)
+	if err := ocli.Stop(); err != nil {
+		log.Fatal(err)
+	}
 }

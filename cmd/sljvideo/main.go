@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/imaging"
+	"repro/internal/obs"
 	"repro/internal/synth"
 	"repro/internal/video"
 )
@@ -30,10 +31,18 @@ func main() {
 		out     = flag.String("out", "", "output .y4m path (required)")
 		fps     = flag.Int("fps", 25, "frame rate")
 	)
+	var ocli obs.CLI
+	ocli.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *out == "" || (*clipDir == "" && *gen < 0) {
 		flag.Usage()
 		os.Exit(2)
+	}
+	// sljvideo runs no classification pipeline, so the scope goes unused;
+	// the flags still expose pprof, runtime tracing and the metrics server
+	// for profiling generation and encoding.
+	if _, err := ocli.Start(); err != nil {
+		log.Fatal(err)
 	}
 
 	var frames []*imaging.RGB
@@ -69,4 +78,7 @@ func main() {
 	}
 	fmt.Printf("wrote %d frames (%dx%d @ %d fps) to %s\n",
 		len(frames), frames[0].W, frames[0].H, *fps, *out)
+	if err := ocli.Stop(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/dbn"
 	"repro/internal/extract"
 	"repro/internal/imaging"
 	"repro/internal/keypoint"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/stats"
 )
@@ -33,6 +35,9 @@ import (
 type Engine struct {
 	workers int
 	sys     *System
+	scope   *obs.Scope // captured at construction: workers relabel their
+	// System's scope per clip, so e.sys.opts.Scope cannot be read while
+	// systems are checked out
 	systems []*System    // len == workers; systems[0] == sys
 	free    chan *System // worker checkout; buffered to len(systems)
 }
@@ -52,7 +57,7 @@ func NewEngine(workers int, opts ...Option) (*Engine, error) {
 // The System must not be used directly while the Engine is active.
 func NewEngineFrom(sys *System, workers int) (*Engine, error) {
 	w := parallel.Workers(workers)
-	e := &Engine{workers: w, sys: sys}
+	e := &Engine{workers: w, sys: sys, scope: sys.opts.Scope}
 	e.systems = make([]*System, w)
 	e.systems[0] = sys
 	for i := 1; i < w; i++ {
@@ -66,6 +71,12 @@ func NewEngineFrom(sys *System, workers int) (*Engine, error) {
 	for _, s := range e.systems {
 		e.free <- s
 	}
+	if sc := e.scope; sc != nil {
+		// Hand the worker-pool instrument block to internal/parallel and
+		// publish the starting pool occupancy.
+		parallel.SetStats(sc.Parallel())
+		sc.PoolFree(len(e.free))
+	}
 	return e, nil
 }
 
@@ -76,6 +87,7 @@ func (s *System) clone() (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("slj: %w", err)
 	}
+	ex.SetScope(s.opts.Scope)
 	return &System{opts: s.opts, extractor: ex, classifier: s.classifier}, nil
 }
 
@@ -85,8 +97,30 @@ func (e *Engine) Workers() int { return e.workers }
 // System returns the primary underlying System (shared classifier).
 func (e *Engine) System() *System { return e.sys }
 
-func (e *Engine) acquire() *System  { return <-e.free }
-func (e *Engine) release(s *System) { e.free <- s }
+// acquire checks a System out of the worker pool, timing any wait for a
+// free one; release returns it. Both track the pool's free count.
+func (e *Engine) acquire() *System {
+	sc := e.scope
+	if sc == nil {
+		return <-e.free
+	}
+	select {
+	case s := <-e.free:
+		sc.PoolFree(len(e.free))
+		return s
+	default:
+	}
+	t0 := time.Now()
+	s := <-e.free
+	sc.AcquireStall(time.Since(t0))
+	sc.PoolFree(len(e.free))
+	return s
+}
+
+func (e *Engine) release(s *System) {
+	e.free <- s
+	e.scope.PoolFree(len(e.free))
+}
 
 // Train trains the shared classifier on every clip. The front-end
 // analysis of the clips fans out over the worker pool; the resulting
@@ -104,6 +138,7 @@ func (e *Engine) Train(clips []dataset.LabeledClip) error {
 		func(_ int, lc dataset.LabeledClip) ([]dbn.LabeledFrame, error) {
 			s := e.acquire()
 			defer e.release(s)
+			defer s.observeClip(lc.Name)()
 			fas, err := s.analyzeClip(lc)
 			if err != nil {
 				return nil, err
@@ -230,6 +265,7 @@ const pipelineBound = 4
 // stage 2 (skeleton analysis) is pure per-frame. Outputs are collected in
 // frame order, so results match the sequential decoder bit for bit.
 func (s *System) classifyClipPipelined(lc dataset.LabeledClip) ([]dbn.Result, error) {
+	defer s.observeClip(lc.Name)()
 	src, err := s.silhouetteSource(lc)
 	if err != nil {
 		return nil, err
@@ -256,7 +292,7 @@ func (s *System) classifyClipPipelined(lc dataset.LabeledClip) ([]dbn.Result, er
 	for i, t := range out {
 		encs[i] = t.fa.Encoding
 	}
-	res, err := s.classifier.ClassifySequence(encs)
+	res, err := s.classifier.ClassifySequenceScoped(encs, s.opts.Scope)
 	if err != nil {
 		return nil, fmt.Errorf("slj: classifying %s: %w", lc.Name, err)
 	}

@@ -2,8 +2,12 @@ package slj
 
 import (
 	"bytes"
+	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // trainGolden trains a sequential System on ds.Train and returns the
@@ -161,6 +165,97 @@ func TestEngineWorkersResolution(t *testing.T) {
 	}
 	if auto.System() == nil {
 		t.Error("System() returned nil")
+	}
+}
+
+// TestEngineObservedMatchesSequential pins the observability contract:
+// with a full scope attached — registry, health counters AND the JSONL
+// span tracer — engine results stay bit-identical to the uninstrumented
+// sequential path at every worker count, while the instruments actually
+// record the work.
+func TestEngineObservedMatchesSequential(t *testing.T) {
+	ds := smallDataset(t, 65)
+	sys, model := trainGolden(t, ds)
+	wantSum, wantConf, err := sys.Evaluate(ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		var spans bytes.Buffer
+		scope := obs.NewScope(obs.NewRegistry())
+		tracer := obs.NewTracer(&spans)
+		scope.SetTracer(tracer)
+		eng, err := NewEngine(workers, WithObservability(scope))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.LoadModel(bytes.NewReader(model)); err != nil {
+			t.Fatal(err)
+		}
+		sum, conf, err := eng.Evaluate(ds.Test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tracer.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sum, wantSum) {
+			t.Errorf("workers=%d: instrumented summary differs from sequential", workers)
+		}
+		if !reflect.DeepEqual(*conf, *wantConf) {
+			t.Errorf("workers=%d: instrumented confusion matrix differs from sequential", workers)
+		}
+
+		snap := scope.Registry().Snapshot()
+		counters := map[string]int64{}
+		for _, c := range snap.Counters {
+			counters[c.Name] = c.Value
+		}
+		wantFrames := int64(0)
+		for _, lc := range ds.Test {
+			wantFrames += int64(len(lc.Clip.Frames))
+		}
+		if got := counters["pipeline.frames"]; got != wantFrames {
+			t.Errorf("workers=%d: pipeline.frames = %d, want %d", workers, got, wantFrames)
+		}
+		decided := int64(0)
+		for _, c := range snap.Counters {
+			if strings.HasPrefix(c.Name, "pipeline.decided.") {
+				decided += c.Value
+			}
+		}
+		if decided != wantFrames {
+			t.Errorf("workers=%d: decided frames = %d, want %d", workers, decided, wantFrames)
+		}
+		histCount := map[string]int64{}
+		for _, h := range snap.Histograms {
+			histCount[h.Name] = h.Count
+		}
+		for _, stage := range []string{"thin", "graph", "classify"} {
+			if histCount["stage."+stage+".ns"] != wantFrames {
+				t.Errorf("workers=%d: stage.%s.ns count = %d, want %d",
+					workers, stage, histCount["stage."+stage+".ns"], wantFrames)
+			}
+		}
+
+		// Every span record is well-formed JSON labelled with a test clip.
+		lines := strings.Split(strings.TrimSpace(spans.String()), "\n")
+		if int64(len(lines)) < wantFrames {
+			t.Fatalf("workers=%d: %d span records, want >= %d", workers, len(lines), wantFrames)
+		}
+		for _, line := range lines {
+			var rec struct {
+				Clip  string `json:"clip"`
+				Stage string `json:"stage"`
+				NS    int64  `json:"ns"`
+			}
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("workers=%d: bad span record %q: %v", workers, line, err)
+			}
+			if rec.Stage == "" || !strings.HasPrefix(rec.Clip, "test-") {
+				t.Fatalf("workers=%d: span record %q missing stage or clip label", workers, line)
+			}
+		}
 	}
 }
 

@@ -2,16 +2,23 @@
 // internal/parallel rely on:
 //
 //   - no sync primitive (Mutex, RWMutex, WaitGroup, Once, Cond, Pool,
-//     Map) is copied by value — through parameters, receivers, plain
+//     Map) or sync/atomic value type (Int64, Pointer[T], Value, ...) is
+//     copied by value — through parameters, receivers, plain
 //     assignments, or range clauses. A copied sync.Pool silently splits
-//     the pool; a copied Mutex silently stops excluding.
+//     the pool; a copied Mutex silently stops excluding; a copied
+//     atomic counter silently forks its count. This covers the
+//     internal/obs instruments (Counter, Gauge, Histogram), which embed
+//     atomics and must be shared by pointer.
 //   - goroutine closures do not write shared state unsynchronised: a
-//     `go func(){...}` body may not assign to captured variables, may
-//     not write captured maps, and may only write captured slices
-//     through an index that is provably disjoint per goroutine (the
-//     index is closure-local, or a per-iteration loop variable that is
-//     never mutated outside the closure — the out[i] = r pattern used
-//     by parallel.MapOrdered).
+//     `go func(){...}` body may not assign to captured variables or
+//     their fields, may not write captured maps, and may only write
+//     captured slices through an index that is provably disjoint per
+//     goroutine (the index is closure-local, or a per-iteration loop
+//     variable that is never mutated outside the closure — the
+//     out[i] = r pattern used by parallel.MapOrdered). Bumping a shared
+//     obs instrument (st.Items.Inc(), counter.Add(n)) is the sanctioned
+//     way to aggregate across workers: it is a method call on an atomic,
+//     not an assignment, so it never trips these checks.
 //
 // `//slj:sync-ok` on the flagged line (or the line above) suppresses a
 // finding whose safety is established by some protocol the analyzer
@@ -63,8 +70,8 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// lockName returns the sync primitive type contained (transitively, by
-// value) in t, or "".
+// lockName returns the sync or sync/atomic primitive type contained
+// (transitively, by value) in t, or "".
 func lockName(t types.Type) string {
 	return lockNameRec(t, map[types.Type]bool{})
 }
@@ -80,6 +87,12 @@ func lockNameRec(t types.Type, seen map[types.Type]bool) string {
 			switch obj.Name() {
 			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
 				return "sync." + obj.Name()
+			}
+		}
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			switch obj.Name() {
+			case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+				return "atomic." + obj.Name()
 			}
 		}
 		return lockNameRec(named.Underlying(), seen)
@@ -224,6 +237,26 @@ func checkGoLit(pass *analysis.Pass, fnBody *ast.BlockStmt, lit *ast.FuncLit) {
 				return
 			}
 			checkIndexDisjoint(pass, fnBody, lit, lhs, obj)
+		case *ast.SelectorExpr:
+			// x.f = v on a captured x is a shared write racing with every
+			// other worker. Aggregating through an atomic instrument
+			// instead (x.f.Add(n) on an obs.Counter) is a method call,
+			// not an assignment, and sails through.
+			base := ast.Unparen(lhs.X)
+			for {
+				sel, ok := base.(*ast.SelectorExpr)
+				if !ok {
+					break
+				}
+				base = ast.Unparen(sel.X)
+			}
+			id, ok := base.(*ast.Ident)
+			if !ok {
+				return
+			}
+			if obj := captured(id); obj != nil && !pass.Annotated(lhs.Pos(), Annotation) {
+				pass.Reportf(lhs.Pos(), "goroutine writes field %s.%s of captured variable without synchronization; use a channel, a mutex, or an atomic instrument (internal/obs)", obj.Name(), lhs.Sel.Name)
+			}
 		}
 	}
 	ast.Inspect(lit.Body, func(n ast.Node) bool {

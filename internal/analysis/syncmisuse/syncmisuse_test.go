@@ -9,3 +9,7 @@ import (
 func TestSyncMisuse(t *testing.T) {
 	atest.Run(t, "testdata", "syncfix", Analyzer)
 }
+
+func TestObsInstruments(t *testing.T) {
+	atest.Run(t, "testdata", "obsfix", Analyzer)
+}

@@ -1,0 +1,77 @@
+// Package obsfix exercises the syncmisuse rules around atomic
+// instruments: obs counters shared across goroutines through pointer
+// method calls are the sanctioned aggregation pattern, while copying an
+// instrument by value or assigning captured struct fields is flagged.
+package obsfix
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+type workerStats struct {
+	hits obs.Counter
+	n    int
+}
+
+// --- sanctioned: atomic method calls on shared instruments -----------
+
+// sharedCounters is the internal/parallel pattern: every worker bumps
+// the same pointer-shared instrument block. Method calls on atomics are
+// not assignments, so nothing is flagged.
+func sharedCounters(items []int, st *workerStats) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.hits.Inc()
+		}()
+	}
+	wg.Wait()
+}
+
+// registryCounters resolves an instrument once and shares it by pointer.
+func registryCounters(reg *obs.Registry, items []int) {
+	c := reg.Counter("items")
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Add(1)
+		}()
+	}
+	wg.Wait()
+}
+
+// --- copies of atomic instruments: flagged ---------------------------
+
+func counterByValue(c obs.Counter) int64 { // want "parameter copies atomic.Int64 by value"
+	return c.Value()
+}
+
+func statsSnapshot(st *workerStats) {
+	snap := *st // want "assignment copies atomic.Int64 by value"
+	_ = snap
+}
+
+func rawAtomicByValue(v atomic.Int64) int64 { // want "parameter copies atomic.Int64 by value"
+	return v.Load()
+}
+
+// --- captured field writes: flagged ----------------------------------
+
+func fieldWrite(items []int, st *workerStats) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.n += it // want "goroutine writes field st.n of captured variable"
+		}()
+	}
+	wg.Wait()
+}

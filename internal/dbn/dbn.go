@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/bayes"
 	"repro/internal/keypoint"
+	"repro/internal/obs"
 	"repro/internal/pose"
 )
 
@@ -304,6 +305,9 @@ type Session struct {
 	lastRecognized pose.Pose
 	// stage is the current jump-stage flag.
 	stage pose.Stage
+	// sc instruments decisions (latency, Unknown rate per jump stage);
+	// nil disables.
+	sc *obs.Scope
 }
 
 // NewSession starts decoding a clip: "When the first frame enters, we
@@ -318,6 +322,13 @@ func (c *Classifier) NewSession() *Session {
 	}
 }
 
+// SetScope attaches an observability scope to the session: each
+// Classify call is timed into the classify stage histogram and every
+// decision is attributed to the jump stage it was made under (the
+// pipeline.decided.* / pipeline.unknown.* counters). A nil scope (the
+// default) disables instrumentation at zero cost.
+func (s *Session) SetScope(sc *obs.Scope) { s.sc = sc }
+
 // Stage returns the current jump-stage flag.
 func (s *Session) Stage() pose.Stage { return s.stage }
 
@@ -330,6 +341,8 @@ func (s *Session) Classify(enc keypoint.Encoding) (Result, error) {
 	if !c.trained {
 		return Result{}, ErrNotTrained
 	}
+	sp := s.sc.Start(obs.StageClassify)
+	defer sp.End()
 	if enc.Partitions != c.cfg.Partitions || enc.Rings != c.cfg.Rings {
 		return Result{}, fmt.Errorf("%w: got %d partitions/%d rings, configured %d/%d",
 			ErrBadEncoding, enc.Partitions, enc.Rings, c.cfg.Partitions, c.cfg.Rings)
@@ -378,6 +391,10 @@ func (s *Session) Classify(enc keypoint.Encoding) (Result, error) {
 		}
 	}
 
+	// The decision is attributed to the stage it was made UNDER (the
+	// evidence fed to the networks), not the stage it advances to.
+	s.sc.Decision(int(s.stage), decided == pose.PoseUnknown)
+
 	// Advance the dynamic state.
 	if decided != pose.PoseUnknown {
 		s.stage = pose.NextStage(s.stage, decided)
@@ -394,7 +411,15 @@ func (s *Session) Classify(enc keypoint.Encoding) (Result, error) {
 // ClassifySequence decodes a whole clip with a fresh session, returning
 // one result per frame.
 func (c *Classifier) ClassifySequence(encs []keypoint.Encoding) ([]Result, error) {
+	return c.ClassifySequenceScoped(encs, nil)
+}
+
+// ClassifySequenceScoped is ClassifySequence with an observability
+// scope attached to the clip's session (nil behaves exactly like
+// ClassifySequence).
+func (c *Classifier) ClassifySequenceScoped(encs []keypoint.Encoding, sc *obs.Scope) ([]Result, error) {
 	s := c.NewSession()
+	s.SetScope(sc)
 	out := make([]Result, 0, len(encs))
 	for i, enc := range encs {
 		r, err := s.Classify(enc)

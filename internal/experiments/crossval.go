@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	slj "repro"
 	"repro/internal/dataset"
 )
 
@@ -49,7 +48,7 @@ func CV(cfg Config) (CVResult, error) {
 				train = append(train, lc)
 			}
 		}
-		eng, err := slj.NewEngine(cfg.workersOrSequential())
+		eng, err := cfg.newEngine()
 		if err != nil {
 			return CVResult{}, err
 		}

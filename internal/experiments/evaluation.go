@@ -207,7 +207,7 @@ func Sec5(cfg Config) (Sec5Result, error) {
 	// The worker-pool engine fans clip training analysis and evaluation
 	// out over cfg.Workers; results are bit-identical to the sequential
 	// path at any worker count.
-	eng, err := slj.NewEngine(cfg.workersOrSequential())
+	eng, err := cfg.newEngine()
 	if err != nil {
 		return Sec5Result{}, err
 	}
@@ -242,7 +242,7 @@ func Sec5(cfg Config) (Sec5Result, error) {
 	// Ablation: thresholds off (argmax decision, no Unknown).
 	cfgNoTh := dbn.DefaultConfig()
 	cfgNoTh.ThPose, cfgNoTh.ThDefault = 0, 0
-	engNoTh, err := slj.NewEngine(cfg.workersOrSequential(), slj.WithClassifierConfig(cfgNoTh))
+	engNoTh, err := cfg.newEngine(slj.WithClassifierConfig(cfgNoTh))
 	if err != nil {
 		return Sec5Result{}, err
 	}
@@ -452,17 +452,19 @@ func Ext1(cfg Config) (Ext1Result, error) {
 	}
 	var res Ext1Result
 	for _, p := range parts {
-		sys, err := slj.NewSystem(slj.WithPartitions(p))
+		t0 := time.Now()
+		eng, err := cfg.newEngine(slj.WithPartitions(p))
 		if err != nil {
 			return Ext1Result{}, err
 		}
-		if err := sys.Train(ds.Train); err != nil {
+		if err := eng.Train(ds.Train); err != nil {
 			return Ext1Result{}, err
 		}
-		sum, _, err := sys.Evaluate(ds.Test)
+		sum, _, err := eng.Evaluate(ds.Test)
 		if err != nil {
 			return Ext1Result{}, err
 		}
+		cfg.sweepPoint(fmt.Sprintf("ext1.partitions_%d", p), t0)
 		res.Partitions = append(res.Partitions, p)
 		res.Accuracy = append(res.Accuracy, sum.OverallAccuracy())
 	}
@@ -503,17 +505,19 @@ func Ext2(cfg Config) (Ext2Result, error) {
 	}
 	var res Ext2Result
 	for _, n := range sizes {
-		sys, err := slj.NewSystem()
+		t0 := time.Now()
+		eng, err := cfg.newEngine()
 		if err != nil {
 			return Ext2Result{}, err
 		}
-		if err := sys.Train(ds.Train[:n]); err != nil {
+		if err := eng.Train(ds.Train[:n]); err != nil {
 			return Ext2Result{}, err
 		}
-		sum, _, err := sys.Evaluate(ds.Test)
+		sum, _, err := eng.Evaluate(ds.Test)
 		if err != nil {
 			return Ext2Result{}, err
 		}
+		cfg.sweepPoint(fmt.Sprintf("ext2.clips_%d", n), t0)
 		res.TrainClips = append(res.TrainClips, n)
 		res.Accuracy = append(res.Accuracy, sum.OverallAccuracy())
 	}

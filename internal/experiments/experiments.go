@@ -12,6 +12,10 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"time"
+
+	slj "repro"
+	"repro/internal/obs"
 )
 
 // Config parameterises every experiment.
@@ -28,10 +32,15 @@ type Config struct {
 	// directly.
 	ArtifactDir string
 	// Workers sets the clip-evaluation worker-pool size for the
-	// experiments that train/evaluate over whole corpora (sec5, cv).
-	// 0 leaves the sequential path; < 0 selects runtime.NumCPU().
-	// Results are identical at every setting — only wall clock changes.
+	// experiments that train/evaluate over whole corpora (sec5, cv,
+	// and the ext1/ext2/ext5/ext9 sweeps). 0 leaves the sequential
+	// path; < 0 selects runtime.NumCPU(). Results are identical at
+	// every setting — only wall clock changes.
 	Workers int
+	// Obs, when non-nil, instruments every engine the experiments build
+	// (stage latency histograms, health counters) and receives one
+	// sweep.<exp>.<point>.ms counter per sweep point with its wall time.
+	Obs *obs.Scope
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -44,6 +53,23 @@ func (c Config) workersOrSequential() int {
 		return 1
 	}
 	return c.Workers
+}
+
+// newEngine builds a clip-evaluation engine honouring Config.Workers and,
+// when set, attaching Config.Obs to the systems it pools.
+func (c Config) newEngine(opts ...slj.Option) (*slj.Engine, error) {
+	if c.Obs != nil {
+		opts = append(opts, slj.WithObservability(c.Obs))
+	}
+	return slj.NewEngine(c.workersOrSequential(), opts...)
+}
+
+// sweepPoint reports one sweep point's wall time since start into the
+// Obs registry as sweep.<name>.ms; a no-op without Obs.
+func (c Config) sweepPoint(name string, start time.Time) {
+	if reg := c.Obs.Registry(); reg != nil {
+		reg.Counter("sweep." + name + ".ms").Add(time.Since(start).Milliseconds())
+	}
 }
 
 // Runner executes one experiment.

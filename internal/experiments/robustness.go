@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"time"
 
 	slj "repro"
 	"repro/internal/dataset"
@@ -105,19 +106,21 @@ func Ext9(cfg Config) (Ext9Result, error) {
 	}
 	var res Ext9Result
 	for _, rate := range rates {
+		t0 := time.Now()
 		r := rand.New(rand.NewSource(cfg.Seed + int64(1000*rate)))
 		noisy := corruptLabels(ds.Train, rate, r)
-		sys, err := slj.NewSystem()
+		eng, err := cfg.newEngine()
 		if err != nil {
 			return Ext9Result{}, err
 		}
-		if err := sys.Train(noisy); err != nil {
+		if err := eng.Train(noisy); err != nil {
 			return Ext9Result{}, err
 		}
-		sum, _, err := sys.Evaluate(ds.Test)
+		sum, _, err := eng.Evaluate(ds.Test)
 		if err != nil {
 			return Ext9Result{}, err
 		}
+		cfg.sweepPoint(fmt.Sprintf("ext9.noise_%02.0f", 100*rate), t0)
 		res.NoiseRate = append(res.NoiseRate, rate)
 		res.Accuracy = append(res.Accuracy, sum.OverallAccuracy())
 	}

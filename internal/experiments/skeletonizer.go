@@ -34,18 +34,21 @@ func Ext5(cfg Config) (Ext5Result, error) {
 	}
 	var res Ext5Result
 	for _, alg := range []thinning.Algorithm{thinning.ZhangSuen, thinning.GuoHall, thinning.MedialAxis} {
-		sys, err := slj.NewSystem(slj.WithThinning(alg))
+		t0 := time.Now()
+		eng, err := cfg.newEngine(slj.WithThinning(alg))
 		if err != nil {
 			return Ext5Result{}, err
 		}
-		if err := sys.Train(ds.Train); err != nil {
+		if err := eng.Train(ds.Train); err != nil {
 			return Ext5Result{}, err
 		}
-		sum, _, err := sys.Evaluate(ds.Test)
+		sum, _, err := eng.Evaluate(ds.Test)
 		if err != nil {
 			return Ext5Result{}, err
 		}
-		// Key-point recovery rate over test frames.
+		// Key-point recovery rate over test frames (per-frame inspection
+		// needs the raw System; it is sequential by nature).
+		sys := eng.System()
 		okFrames, frames := 0, 0
 		for _, lc := range ds.Test {
 			sys.SetBackground(lc.Clip.Background)
@@ -60,6 +63,7 @@ func Ext5(cfg Config) (Ext5Result, error) {
 				}
 			}
 		}
+		cfg.sweepPoint("ext5."+alg.String(), t0)
 		res.Algorithms = append(res.Algorithms, alg.String())
 		res.Accuracy = append(res.Accuracy, sum.OverallAccuracy())
 		res.KeyPointRate = append(res.KeyPointRate, float64(okFrames)/float64(frames))

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/imaging"
+	"repro/internal/obs"
 )
 
 // DefaultThObject is the paper's foreground threshold (step viii).
@@ -96,6 +97,9 @@ type Extractor struct {
 	sat  []int64      // summed-area tables backing aAve
 	crop *imaging.RGB // ROI crop (ExtractInROI only)
 	d    []int        // steps iii–iv absolute-difference sums
+
+	// sc times the detect/smooth stages; nil disables.
+	sc *obs.Scope
 }
 
 // diffs returns the d scratch slice resized to n elements.
@@ -145,6 +149,12 @@ func NewExtractor(opts ...Option) (*Extractor, error) {
 
 // Options returns a copy of the effective configuration.
 func (e *Extractor) Options() Options { return e.opts }
+
+// SetScope attaches an observability scope: Extract/ExtractInROI time
+// their background-subtraction and smoothing phases into the detect and
+// smooth stage histograms. A nil scope (the default) disables timing.
+// Extractors are per-worker, so no synchronisation is needed.
+func (e *Extractor) SetScope(sc *obs.Scope) { e.sc = sc }
 
 // SetBackground installs the clean background frame B and pre-computes its
 // moving-window average B_ave (step i). It must be called before Extract.
@@ -216,9 +226,13 @@ func (e *Extractor) Extract(frame *imaging.RGB) (*imaging.Binary, error) {
 	// the buffer pool so per-frame extraction stops churning the
 	// allocator. When Smooth is a no-op the pooled buffer escapes to the
 	// caller, which simply removes it from pool custody.
+	sp := e.sc.Start(obs.StageDetect)
 	raw := imaging.GetBinary(e.width, e.height)
 	e.extractRawInto(frame, raw)
+	sp.End()
+	sp = e.sc.Start(obs.StageSmooth)
 	out := e.Smooth(raw)
+	sp.End()
 	if out != raw {
 		imaging.PutBinary(raw)
 	}
@@ -303,6 +317,7 @@ func (e *Extractor) ExtractInROI(frame *imaging.RGB, roi imaging.Rect) (*imaging
 	if roi.Empty() {
 		return imaging.NewBinary(e.width, e.height), nil
 	}
+	sp := e.sc.Start(obs.StageDetect)
 	e.crop = frame.CropInto(e.crop, roi)
 	e.aAve, e.sat = imaging.BoxAverageRGBInto(e.aAve, e.crop, e.opts.Window, e.sat)
 	aAve := e.aAve
@@ -330,6 +345,7 @@ func (e *Extractor) ExtractInROI(frame *imaging.RGB, roi imaging.Rect) (*imaging
 	}
 	out := imaging.GetBinary(e.width, e.height)
 	if maxD == 0 {
+		sp.End()
 		return out, nil
 	}
 	shift := maxD - 255
@@ -345,7 +361,10 @@ func (e *Extractor) ExtractInROI(frame *imaging.RGB, roi imaging.Rect) (*imaging
 			}
 		}
 	}
+	sp.End()
+	sp = e.sc.Start(obs.StageSmooth)
 	res := e.Smooth(out)
+	sp.End()
 	if res != out {
 		imaging.PutBinary(out)
 	}

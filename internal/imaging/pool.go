@@ -49,6 +49,7 @@ func GetBinary(w, h int) *Binary {
 		panic("imaging.GetBinary: non-positive dimensions")
 	}
 	b := binaryPool.Get().(*Binary)
+	countGet(b.Pix != nil)
 	b.pooled = false
 	b.W, b.H = w, h
 	b.Pix = grab(b.Pix, w*h)
@@ -58,7 +59,11 @@ func GetBinary(w, h int) *Binary {
 // PutBinary returns a binary image to the pool. nil and double Puts are
 // ignored.
 func PutBinary(b *Binary) {
-	if b == nil || b.pooled {
+	if b == nil {
+		return
+	}
+	if b.pooled {
+		poolStats.DoublePuts.Inc()
 		return
 	}
 	b.pooled = true
@@ -72,6 +77,7 @@ func GetGray(w, h int) *Gray {
 		panic("imaging.GetGray: non-positive dimensions")
 	}
 	g := grayPool.Get().(*Gray)
+	countGet(g.Pix != nil)
 	g.pooled = false
 	g.W, g.H = w, h
 	g.Pix = grab(g.Pix, w*h)
@@ -81,7 +87,11 @@ func GetGray(w, h int) *Gray {
 // PutGray returns a grayscale image to the pool. nil and double Puts are
 // ignored.
 func PutGray(g *Gray) {
-	if g == nil || g.pooled {
+	if g == nil {
+		return
+	}
+	if g.pooled {
+		poolStats.DoublePuts.Inc()
 		return
 	}
 	g.pooled = true
@@ -95,6 +105,7 @@ func GetRGB(w, h int) *RGB {
 		panic("imaging.GetRGB: non-positive dimensions")
 	}
 	m := rgbPool.Get().(*RGB)
+	countGet(m.Pix != nil)
 	m.pooled = false
 	m.W, m.H = w, h
 	m.Pix = grab(m.Pix, 3*w*h)
@@ -104,7 +115,11 @@ func GetRGB(w, h int) *RGB {
 // PutRGB returns a colour image to the pool. nil and double Puts are
 // ignored.
 func PutRGB(m *RGB) {
-	if m == nil || m.pooled {
+	if m == nil {
+		return
+	}
+	if m.pooled {
+		poolStats.DoublePuts.Inc()
 		return
 	}
 	m.pooled = true

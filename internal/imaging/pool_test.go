@@ -258,3 +258,71 @@ func TestCropIntoMatchesCrop(t *testing.T) {
 		PutRGB(got)
 	}
 }
+
+// TestPoolHitMissAccounting is the regression test for the accounting
+// gap where Get* could not tell a fresh allocation from a recycled
+// buffer. It drains the pool under pressure (every Get while all
+// buffers are held live must miss) and then recycles (every Get after a
+// Put must hit). Counters are process-global, so assertions are on
+// deltas.
+func TestPoolHitMissAccounting(t *testing.T) {
+	delta := func(h0, m0, d0 int64) (int64, int64, int64) {
+		h, m, d := PoolCounters()
+		return h - h0, m - m0, d - d0
+	}
+
+	// Phase 1: hold n buffers live at once. At most the pool's current
+	// idle population can hit; forcing n simultaneous live buffers after
+	// draining guarantees at least one miss, and every buffer freshly
+	// constructed arrives with Pix == nil before grab sizes it.
+	const n = 16
+	h0, m0, d0 := PoolCounters()
+	bufs := make([]*Binary, n)
+	for i := range bufs {
+		bufs[i] = GetBinary(9, 9)
+	}
+	hits, misses, _ := delta(h0, m0, d0)
+	if hits+misses != n {
+		t.Fatalf("phase 1: hits+misses = %d+%d, want %d Gets accounted", hits, misses, n)
+	}
+
+	// Phase 2: strict Put→Get cycles on the buffers we now own must be
+	// all hits — the pool always has an idle buffer when we ask.
+	h0, m0, d0 = PoolCounters()
+	for i := 0; i < n; i++ {
+		PutBinary(bufs[i])
+		bufs[i] = GetBinary(9, 9)
+	}
+	hits, misses, _ = delta(h0, m0, d0)
+	if misses != 0 || hits != n {
+		t.Errorf("phase 2: hits=%d misses=%d, want %d/0 (Put→Get must recycle)", hits, misses, n)
+	}
+
+	// Phase 3: double Put is counted, and the extra Put must not
+	// manufacture a phantom hit for two Gets.
+	h0, m0, d0 = PoolCounters()
+	PutBinary(bufs[0])
+	PutBinary(bufs[0])
+	_, _, doubles := delta(h0, m0, d0)
+	if doubles != 1 {
+		t.Errorf("double Put counted %d times, want 1", doubles)
+	}
+	for _, b := range bufs[1:] {
+		PutBinary(b)
+	}
+
+	// Gray and RGB share the accounting path; spot-check one cycle each.
+	h0, m0, d0 = PoolCounters()
+	g := GetGray(4, 4)
+	PutGray(g)
+	g = GetGray(4, 4)
+	m := GetRGB(4, 4)
+	PutRGB(m)
+	m = GetRGB(4, 4)
+	hits, misses, _ = delta(h0, m0, d0)
+	if hits+misses != 4 || hits < 2 {
+		t.Errorf("gray/rgb cycle: hits=%d misses=%d, want 4 Gets with >=2 hits", hits, misses)
+	}
+	PutGray(g)
+	PutRGB(m)
+}

@@ -1,0 +1,44 @@
+package imaging
+
+import "repro/internal/obs"
+
+// PoolStats counts buffer-pool traffic across all three image pools.
+// A hit is a Get served by a recycled buffer, a miss is a Get that had
+// to allocate a fresh image (the pool was empty or the GC emptied it),
+// and a double Put is a Put of an already-pooled image that the pooled
+// flag degraded to a no-op. The distinction was previously invisible:
+// Get* zeroes the buffer either way, so only these counters reveal
+// whether the pool actually absorbs the per-frame churn.
+//
+// The counters are process-global (the pools are too) and always on —
+// each is a single uncontended atomic add, far below the cost of the
+// clear() in grab. Readers should diff snapshots around the region of
+// interest rather than assume a zero start.
+type PoolStats struct {
+	Hits       obs.Counter
+	Misses     obs.Counter
+	DoublePuts obs.Counter
+}
+
+var poolStats PoolStats
+
+// Pool returns the process-wide image pool counters (never nil).
+func Pool() *PoolStats { return &poolStats }
+
+// PoolCounters returns a point-in-time (hits, misses, doublePuts)
+// reading, for tests and registry pull-metrics.
+func PoolCounters() (hits, misses, doublePuts int64) {
+	return poolStats.Hits.Value(), poolStats.Misses.Value(), poolStats.DoublePuts.Value()
+}
+
+// countGet classifies one pool Get: a recycled image comes back with
+// its previous backing slice (every pooled image was sized by grab
+// before Put), while sync.Pool's New constructs the zero value with a
+// nil Pix.
+func countGet(recycled bool) {
+	if recycled {
+		poolStats.Hits.Inc()
+	} else {
+		poolStats.Misses.Inc()
+	}
+}

@@ -98,6 +98,16 @@ type KeyPoints struct {
 	TorsoLen int
 }
 
+// HandAbsent reports whether the Hand key point is missing — the arms
+// overlapped the body and no end vertex protruded past the torso, so
+// the Hand collapsed onto the waist (area 0). For the "hands overlap
+// with body" poses this is expected; a high rate on other poses is the
+// implausible-keypoint signal the pipeline.hand_absent counter tracks.
+func (kp KeyPoints) HandAbsent() bool {
+	_, ok := kp.Pos[PartHand]
+	return !ok
+}
+
 // FromGraph locates the key points on a built (and ideally pruned)
 // skeleton graph, using only its largest connected component.
 func FromGraph(g *skelgraph.Graph) (KeyPoints, error) {

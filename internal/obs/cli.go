@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/trace"
+)
+
+// CLI bundles the observability command-line surface shared by the slj
+// binaries (sljeval, sljexp, sljtrain, sljvideo): flag registration,
+// start-up of the chosen sinks, and orderly shutdown. The zero value
+// with no flags set is fully inert — Start returns a nil *Scope and the
+// pipeline runs exactly as before.
+type CLI struct {
+	// Metrics is the -metrics listen address (expvar + JSON + pprof).
+	Metrics string
+	// Pprof is the -pprof listen address; shares the -metrics server
+	// when equal or empty while -metrics is set.
+	Pprof string
+	// Trace is the -trace runtime/trace output path.
+	Trace string
+	// Spans is the -spans JSONL span-trace output path.
+	Spans string
+	// MetricsOut is the -metrics-out snapshot path written by Stop.
+	MetricsOut string
+
+	scope     *Scope
+	metricsLn *Server
+	pprofLn   *Server
+	tracer    *Tracer
+	traceFile *os.File
+}
+
+// RegisterFlags installs the observability flags on fs.
+func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Metrics, "metrics", "", "serve expvar (/debug/vars), JSON metrics (/debug/metrics) and pprof on this address, e.g. :6060")
+	fs.StringVar(&c.Pprof, "pprof", "", "serve net/http/pprof on this address (separate from -metrics)")
+	fs.StringVar(&c.Trace, "trace", "", "write a runtime/trace profile to this file (view with `go tool trace`)")
+	fs.StringVar(&c.Spans, "spans", "", "write per-stage span timings to this file as JSON Lines")
+	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write a final metrics snapshot (JSON) to this file on exit")
+}
+
+// Enabled reports whether any observability flag was set.
+func (c *CLI) Enabled() bool {
+	return c.Metrics != "" || c.Pprof != "" || c.Trace != "" || c.Spans != "" || c.MetricsOut != ""
+}
+
+// Start brings up every requested sink and returns the pipeline scope
+// to thread into slj.WithObservability. When no flag was set it returns
+// (nil, nil): a nil scope disables instrumentation everywhere. On error
+// it tears down whatever it had already started.
+func (c *CLI) Start() (*Scope, error) {
+	if !c.Enabled() {
+		return nil, nil
+	}
+	c.scope = NewScope(NewRegistry())
+	if c.Spans != "" {
+		t, err := OpenTrace(c.Spans)
+		if err != nil {
+			return nil, err
+		}
+		c.tracer = t
+		c.scope.SetTracer(t)
+	}
+	if c.Trace != "" {
+		f, err := os.Create(c.Trace)
+		if err != nil {
+			c.shutdown()
+			return nil, fmt.Errorf("obs: creating trace file: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			c.shutdown()
+			return nil, fmt.Errorf("obs: starting runtime trace: %w", err)
+		}
+		c.traceFile = f
+	}
+	if c.Metrics != "" {
+		s, err := Serve(c.Metrics, c.scope.Registry())
+		if err != nil {
+			c.shutdown()
+			return nil, err
+		}
+		c.metricsLn = s
+		fmt.Fprintf(os.Stderr, "obs: metrics on http://%s/debug/metrics (expvar at /debug/vars)\n", s.Addr())
+	}
+	if c.Pprof != "" && c.Pprof != c.Metrics {
+		s, err := Serve(c.Pprof, nil)
+		if err != nil {
+			c.shutdown()
+			return nil, err
+		}
+		c.pprofLn = s
+		fmt.Fprintf(os.Stderr, "obs: pprof on http://%s/debug/pprof/\n", s.Addr())
+	}
+	return c.scope, nil
+}
+
+// Stop flushes and closes every sink Start opened: stops the runtime
+// trace, closes the span tracer, writes the -metrics-out snapshot, and
+// shuts the HTTP servers down. Safe to call when Start was never called
+// or returned (nil, nil).
+func (c *CLI) Stop() error {
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if c.traceFile != nil {
+		trace.Stop()
+		keep(c.traceFile.Close())
+		c.traceFile = nil
+	}
+	keep(c.tracer.Close())
+	c.tracer = nil
+	if c.MetricsOut != "" && c.scope != nil {
+		keep(c.writeSnapshot())
+	}
+	c.shutdown()
+	return first
+}
+
+func (c *CLI) writeSnapshot() error {
+	f, err := os.Create(c.MetricsOut)
+	if err != nil {
+		return fmt.Errorf("obs: creating metrics snapshot: %w", err)
+	}
+	if err := c.scope.Registry().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: writing metrics snapshot: %w", err)
+	}
+	return nil
+}
+
+// shutdown closes the HTTP servers (used by Stop and by Start's error
+// paths).
+func (c *CLI) shutdown() {
+	_ = c.metricsLn.Close()
+	_ = c.pprofLn.Close()
+	c.metricsLn, c.pprofLn = nil, nil
+}

@@ -1,0 +1,100 @@
+package obs
+
+import "sync/atomic"
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v with v <= Bounds[i]; one extra overflow bucket counts
+// the rest. Observe is lock-free (one atomic add per bucket plus sum
+// and count), so histograms are safe to share across engine workers.
+// A nil *Histogram discards observations.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// The bounds slice is retained and must not be mutated by the caller.
+func NewHistogram(bounds []int64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// LatencyBounds is the shared bucket layout for stage latencies, in
+// nanoseconds: 1 µs to ~8.4 s in powers of two. Stage timings on the
+// synthetic corpus span roughly 10 µs (classify) to 10 ms (detect on
+// large frames), so the interesting range sits mid-layout at any
+// plausible frame size.
+var LatencyBounds = expBounds(1_000, 2, 24)
+
+// AllocBounds is the shared bucket layout for byte/allocation sizes:
+// 64 B to ~512 MiB in powers of four.
+var AllocBounds = expBounds(64, 4, 12)
+
+// expBounds returns n ascending bounds start, start*factor, ...
+func expBounds(start, factor int64, n int) []int64 {
+	out := make([]int64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value. No-op on a nil receiver; never allocates.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, suitable
+// for JSON encoding.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Bounds  []int64 `json:"bounds"`
+	Buckets []int64 `json:"buckets"` // len(Bounds)+1; last is overflow
+}
+
+// Snapshot copies the current bucket counts. Returns a zero snapshot
+// on a nil receiver.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Bounds:  h.bounds,
+		Buckets: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	return s
+}

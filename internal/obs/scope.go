@@ -1,0 +1,286 @@
+package obs
+
+import "time"
+
+// Stage identifies one pipeline stage for span timing. The order
+// mirrors the paper's processing chain (Sections 2–4).
+type Stage int
+
+// Pipeline stages, in processing order.
+const (
+	StageDetect   Stage = iota // background subtraction + thresholding
+	StageSmooth                // median smoothing of the raw mask
+	StageThin                  // Zhang-Suen / Guo-Hall thinning
+	StageGraph                 // skeleton graph build + prune
+	StageKeyPoint              // key-point location + feature encoding
+	StageClassify              // DBN bank decision
+	numStages
+)
+
+var stageNames = [numStages]string{"detect", "smooth", "thin", "graph", "keypoint", "classify"}
+
+// String returns the stage's metric-name token ("detect", "thin", ...).
+func (s Stage) String() string {
+	if s < 0 || s >= numStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// NumJumpStages is the number of jump stages tracked by the per-stage
+// Unknown-rate counters (pose.NumStages; kept literal so obs depends on
+// nothing above it).
+const NumJumpStages = 4
+
+// ParallelStats is the instrument block shared with internal/parallel
+// (which cannot resolve metrics by name without dragging the registry
+// into its hot loop). All fields are updated lock-free.
+type ParallelStats struct {
+	// Items counts work items claimed across MapOrdered/ForEach calls.
+	Items Counter
+	// StallNS accumulates nanoseconds pipeline stages spent blocked on
+	// an empty input channel (downstream waiting for upstream).
+	StallNS Counter
+	// Workers is the high-water mark of concurrently running workers.
+	Workers Gauge
+	// QueueDepth is the high-water mark of buffered items in pipeline
+	// stage channels.
+	QueueDepth Gauge
+}
+
+// Scope is the handle pipeline layers thread through: it pre-resolves
+// every instrument once so per-frame updates are single atomic ops with
+// no map lookups and no allocation. A nil *Scope disables all of it —
+// every method is a no-op and Start returns a Span whose End does
+// nothing.
+type Scope struct {
+	reg    *Registry
+	tracer *Tracer
+	clip   string
+
+	stageNS [numStages]*Histogram
+
+	frames     *Counter
+	graphFail  *Counter
+	pruned     *Counter
+	thinPasses *Counter
+	loopsCut   *Counter
+	junctions  *Counter
+	kpMiss     *Counter
+	kpDegen    *Counter
+	kpNoTorso  *Counter
+	handAbsent *Counter
+	decided    [NumJumpStages + 1]*Counter // index 0 = stage outside 1..4
+	unknown    [NumJumpStages + 1]*Counter
+	acquireNS  *Counter
+	enginePool *Gauge
+	par        *ParallelStats
+}
+
+// NewScope builds a scope over reg, resolving the full pipeline metric
+// set (DESIGN.md §9 lists the names). A nil registry yields a nil scope.
+func NewScope(reg *Registry) *Scope {
+	if reg == nil {
+		return nil
+	}
+	sc := &Scope{
+		reg:        reg,
+		frames:     reg.Counter("pipeline.frames"),
+		graphFail:  reg.Counter("pipeline.graph_fail"),
+		pruned:     reg.Counter("pipeline.pruned_branches"),
+		thinPasses: reg.Counter("pipeline.thin_passes"),
+		loopsCut:   reg.Counter("pipeline.loops_cut"),
+		junctions:  reg.Counter("pipeline.junctions_merged"),
+		kpMiss:     reg.Counter("pipeline.keypoint_miss"),
+		kpDegen:    reg.Counter("pipeline.keypoint_miss.degenerate"),
+		kpNoTorso:  reg.Counter("pipeline.keypoint_miss.no_torso"),
+		handAbsent: reg.Counter("pipeline.hand_absent"),
+		acquireNS:  reg.Counter("engine.acquire_stall_ns"),
+		enginePool: reg.Gauge("engine.pool_free"),
+		par:        &ParallelStats{},
+	}
+	for st := Stage(0); st < numStages; st++ {
+		sc.stageNS[st] = reg.Histogram("stage."+st.String()+".ns", LatencyBounds)
+	}
+	for i := range sc.decided {
+		suffix := "stage" + string(rune('0'+i))
+		sc.decided[i] = reg.Counter("pipeline.decided." + suffix)
+		sc.unknown[i] = reg.Counter("pipeline.unknown." + suffix)
+	}
+	reg.RegisterFunc("parallel.items", sc.par.Items.Value)
+	reg.RegisterFunc("parallel.stall_ns", sc.par.StallNS.Value)
+	reg.RegisterFunc("parallel.workers_max", sc.par.Workers.Value)
+	reg.RegisterFunc("parallel.queue_depth_max", sc.par.QueueDepth.Value)
+	return sc
+}
+
+// Registry returns the scope's registry (nil on a nil scope).
+func (sc *Scope) Registry() *Registry {
+	if sc == nil {
+		return nil
+	}
+	return sc.reg
+}
+
+// SetTracer attaches a JSONL span tracer; nil detaches. Must be set
+// before the scope is shared across goroutines.
+func (sc *Scope) SetTracer(t *Tracer) {
+	if sc == nil {
+		return
+	}
+	sc.tracer = t
+}
+
+// Parallel exposes the worker instrument block for internal/parallel
+// (nil on a nil scope, which parallel treats as disabled).
+func (sc *Scope) Parallel() *ParallelStats {
+	if sc == nil {
+		return nil
+	}
+	return sc.par
+}
+
+// WithClip returns a copy of the scope labelled with a clip name; spans
+// started from it carry the label into the JSONL trace. Instruments are
+// shared with the parent — only the label differs. Returns nil on a nil
+// scope.
+func (sc *Scope) WithClip(name string) *Scope {
+	if sc == nil {
+		return nil
+	}
+	child := *sc
+	child.clip = name
+	return &child
+}
+
+// Span is one in-flight stage timing. It is a small value (no pointer
+// indirection to allocate) so Start/End on the hot path never touch the
+// heap; a zero Span (from a nil scope) is inert.
+type Span struct {
+	sc *Scope
+	st Stage
+	t0 time.Time
+}
+
+// Start begins timing a stage. On a nil scope it returns an inert span
+// without reading the clock.
+func (sc *Scope) Start(st Stage) Span {
+	if sc == nil {
+		return Span{}
+	}
+	return Span{sc: sc, st: st, t0: time.Now()}
+}
+
+// End stops the span: the elapsed time lands in the stage's latency
+// histogram and, when a tracer is attached, one JSONL record is emitted.
+func (sp Span) End() {
+	if sp.sc == nil {
+		return
+	}
+	ns := time.Since(sp.t0).Nanoseconds()
+	sp.sc.stageNS[sp.st].Observe(ns)
+	if sp.sc.tracer != nil {
+		sp.sc.tracer.emit(sp.sc.clip, sp.st, sp.t0, ns)
+	}
+}
+
+// FrameDone counts one frame through the skeleton front end.
+func (sc *Scope) FrameDone() {
+	if sc == nil {
+		return
+	}
+	sc.frames.Inc()
+}
+
+// GraphFail counts a silhouette whose skeleton graph could not be built.
+func (sc *Scope) GraphFail() {
+	if sc == nil {
+		return
+	}
+	sc.graphFail.Inc()
+}
+
+// Pruned adds n pruned noisy branches (skelgraph.Prune's return value).
+func (sc *Scope) Pruned(n int) {
+	if sc == nil {
+		return
+	}
+	sc.pruned.Add(int64(n))
+}
+
+// ThinPasses adds the number of thinning iterations a frame needed.
+func (sc *Scope) ThinPasses(n int) {
+	if sc == nil {
+		return
+	}
+	sc.thinPasses.Add(int64(n))
+}
+
+// GraphStats records skeleton-graph build repairs: spanning-tree loop
+// cuts and adjacent-junction merges.
+func (sc *Scope) GraphStats(loopsCut, junctionsMerged int) {
+	if sc == nil {
+		return
+	}
+	sc.loopsCut.Add(int64(loopsCut))
+	sc.junctions.Add(int64(junctionsMerged))
+}
+
+// KeyPointMiss counts a frame whose key points could not be located;
+// degenerate and noTorso attribute the sentinel cause.
+func (sc *Scope) KeyPointMiss(degenerate, noTorso bool) {
+	if sc == nil {
+		return
+	}
+	sc.kpMiss.Inc()
+	if degenerate {
+		sc.kpDegen.Inc()
+	}
+	if noTorso {
+		sc.kpNoTorso.Inc()
+	}
+}
+
+// HandAbsent counts a frame whose key points were found but whose hand
+// fell back to the waist (no arm protrusion) — the paper's implausible-
+// keypoint case.
+func (sc *Scope) HandAbsent() {
+	if sc == nil {
+		return
+	}
+	sc.handAbsent.Inc()
+}
+
+// Decision counts one DBN decision made while the session believed the
+// jump was in jumpStage (1..4; anything else lands in bucket 0).
+// unknown marks a Th_Pose fallback to PoseUnknown.
+func (sc *Scope) Decision(jumpStage int, unknown bool) {
+	if sc == nil {
+		return
+	}
+	if jumpStage < 1 || jumpStage > NumJumpStages {
+		jumpStage = 0
+	}
+	sc.decided[jumpStage].Inc()
+	if unknown {
+		sc.unknown[jumpStage].Inc()
+	}
+}
+
+// AcquireStall adds engine System-pool acquisition wait time, and
+// PoolFree tracks the instantaneous number of idle pooled Systems.
+func (sc *Scope) AcquireStall(d time.Duration) {
+	if sc == nil {
+		return
+	}
+	sc.acquireNS.Add(d.Nanoseconds())
+}
+
+// PoolFree records the engine's free-System count after an acquire or
+// release.
+func (sc *Scope) PoolFree(n int) {
+	if sc == nil {
+		return
+	}
+	sc.enginePool.Set(int64(n))
+}

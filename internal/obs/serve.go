@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server exposes a registry (and the process profiles) over HTTP:
+//
+//	/debug/vars     — standard expvar page (includes the registry)
+//	/debug/metrics  — the registry's JSON snapshot alone
+//	/debug/pprof/*  — net/http/pprof handlers
+//
+// A dedicated mux is used so nothing leaks onto http.DefaultServeMux
+// and two servers in one process (e.g. -metrics and -pprof on separate
+// ports) cannot collide.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts an HTTP server on addr. When reg is non-nil its snapshot
+// is served at /debug/metrics and published to expvar (so it also shows
+// under /debug/vars); pprof is always mounted. addr may use port 0 for
+// an ephemeral port — Addr reports the bound address.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	if reg != nil {
+		reg.PublishExpvar("slj")
+		mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.WriteJSON(w)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}, ln: ln}
+	go s.srv.Serve(ln) //nolint — Serve always returns non-nil after Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server. Safe on a nil receiver.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	if err := s.srv.Close(); err != nil {
+		return fmt.Errorf("obs: closing server: %w", err)
+	}
+	return nil
+}

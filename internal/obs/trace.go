@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Tracer streams span records as JSON Lines: one object per completed
+// span, e.g.
+//
+//	{"t_us":12345678,"clip":"train-03","stage":"thin","ns":84125}
+//
+// t_us is the span start in microseconds since the tracer was opened,
+// so traces are diffable across runs. Records are hand-formatted into a
+// reusable buffer under a mutex — the tracer is shared by all engine
+// workers and must not interleave lines or allocate per span beyond the
+// buffered writer's amortised growth.
+type Tracer struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	c     io.Closer
+	epoch time.Time
+	buf   []byte
+}
+
+// NewTracer wraps w; Close flushes and, when w is also an io.Closer,
+// closes it.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{w: bufio.NewWriterSize(w, 1<<16), epoch: time.Now()}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// OpenTrace creates (truncates) a JSONL trace file at path.
+func OpenTrace(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening trace file: %w", err)
+	}
+	return NewTracer(f), nil
+}
+
+// emit appends one span record. Safe for concurrent use.
+func (t *Tracer) emit(clip string, st Stage, start time.Time, ns int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	b := t.buf[:0]
+	b = append(b, `{"t_us":`...)
+	b = strconv.AppendInt(b, start.Sub(t.epoch).Microseconds(), 10)
+	if clip != "" {
+		b = append(b, `,"clip":`...)
+		b = strconv.AppendQuote(b, clip)
+	}
+	b = append(b, `,"stage":"`...)
+	b = append(b, st.String()...)
+	b = append(b, `","ns":`...)
+	b = strconv.AppendInt(b, ns, 10)
+	b = append(b, '}', '\n')
+	t.buf = b
+	_, _ = t.w.Write(b)
+	t.mu.Unlock()
+}
+
+// Close flushes buffered records and closes the underlying file, if
+// any. Safe on a nil tracer.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	err := t.w.Flush()
+	if t.c != nil {
+		if cerr := t.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("obs: closing trace: %w", err)
+	}
+	return nil
+}

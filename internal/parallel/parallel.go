@@ -41,8 +41,12 @@ func MapOrdered[T, R any](workers int, items []T, fn func(i int, item T) (R, err
 	if w > len(items) {
 		w = len(items)
 	}
+	st := stats.Load()
 	if w <= 1 {
 		for i, item := range items {
+			if st != nil {
+				st.Items.Inc()
+			}
 			r, err := fn(i, item)
 			if err != nil {
 				return nil, err
@@ -50,6 +54,9 @@ func MapOrdered[T, R any](workers int, items []T, fn func(i int, item T) (R, err
 			out[i] = r
 		}
 		return out, nil
+	}
+	if st != nil {
+		st.Workers.Max(int64(w))
 	}
 
 	var (
@@ -76,6 +83,9 @@ func MapOrdered[T, R any](workers int, items []T, fn func(i int, item T) (R, err
 				i := int(next.Add(1)) - 1
 				if i >= len(items) || stop.Load() {
 					return
+				}
+				if st != nil {
+					st.Items.Inc()
 				}
 				r, err := fn(i, items[i])
 				if err != nil {
@@ -154,13 +164,31 @@ func Pipeline[T any](bound int, items []T, stages ...func(i int, v T) (T, error)
 	// One goroutine per stage. A stage that sees an item index at or
 	// beyond a recorded error index skips the work (the result can no
 	// longer matter) but keeps draining so upstream stages never block.
+	// With stats installed the receive is routed through recv (stall
+	// attribution) and the input backlog's high-water mark is kept;
+	// neither changes item order or stage behaviour.
+	st := stats.Load()
+	if st != nil {
+		st.Workers.Max(int64(len(stages)))
+	}
 	for _, stage := range stages {
 		stage := stage
 		src := in
 		dst := make(chan token[T], bound)
 		go func() {
 			defer close(dst)
-			for t := range src {
+			for {
+				var t token[T]
+				var ok bool
+				if st != nil {
+					st.QueueDepth.Max(int64(len(src)))
+					t, ok = recv(src, st)
+				} else {
+					t, ok = <-src
+				}
+				if !ok {
+					return
+				}
 				mu.Lock()
 				dead := errIdx >= 0 && t.i >= errIdx
 				mu.Unlock()

@@ -1,0 +1,37 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// stats is the package-wide instrument block. MapOrdered/Pipeline are
+// free generic functions, so there is no receiver to hang a scope on;
+// instead the engine installs its scope's block once at construction.
+// A nil pointer (the default) keeps every hot loop on the exact
+// pre-instrumentation code path. This is the one sanctioned piece of
+// package-level mutable state in the concurrency substrate (like the
+// imaging pool counters): a single atomic pointer, last installer wins.
+var stats atomic.Pointer[obs.ParallelStats]
+
+// SetStats installs (or, with nil, removes) the worker instrument
+// block. Not intended to be raced with in-flight MapOrdered/Pipeline
+// calls — workers snapshot the pointer when they start.
+func SetStats(st *obs.ParallelStats) { stats.Store(st) }
+
+// recv receives from src, attributing blocked time to st.StallNS. Only
+// time actually spent blocked counts: when a token is ready the fast
+// select path returns without reading the clock.
+func recv[T any](src <-chan token[T], st *obs.ParallelStats) (token[T], bool) {
+	select {
+	case t, ok := <-src:
+		return t, ok
+	default:
+	}
+	t0 := time.Now()
+	t, ok := <-src
+	st.StallNS.Add(time.Since(t0).Nanoseconds())
+	return t, ok
+}

@@ -116,7 +116,27 @@ type Graph struct {
 	// can be rasterised back.
 	W, H int
 
+	// Stats records the repairs Build applied; see BuildStats.
+	Stats BuildStats
+
 	dead []bool // parallel to Segments; true = removed
+}
+
+// BuildStats counts the Section 3 repairs Build performed on one
+// skeleton. The pipeline's observability layer aggregates these into
+// the pipeline.junctions_merged / pipeline.loops_cut health counters:
+// persistent jumps mean the thinning stage is handing over much noisier
+// skeletons than usual.
+type BuildStats struct {
+	// JunctionsRemoved is the number of adjacent junction vertices
+	// deleted by the step-2 simplification.
+	JunctionsRemoved int
+	// Bridges is the number of reconnection edges synthesised after
+	// junction removal.
+	Bridges int
+	// LoopsCut is the number of segments the spanning-tree step
+	// rejected (each one closed a loop and was detached or removed).
+	LoopsCut int
 }
 
 // Options configures Build.
@@ -244,8 +264,10 @@ func Build(skel *imaging.Binary, opts ...Option) (*Graph, error) {
 
 	work := skel
 	pooled := false
+	junctionsRemoved := 0
 	if o.RemoveAdjacentJunctions {
 		remove := AdjacentJunctionVertices(skel)
+		junctionsRemoved = len(remove)
 		if len(remove) > 0 {
 			// The cleaned copy lives only until its adjacency is built;
 			// recycle it through the imaging buffer pool.
@@ -267,6 +289,7 @@ func Build(skel *imaging.Binary, opts ...Option) (*Graph, error) {
 	}
 
 	g := &Graph{W: skel.W, H: skel.H}
+	g.Stats.JunctionsRemoved = junctionsRemoved
 	g.traceSegments(pts, adj)
 	if o.BridgeRadius > 0 {
 		g.addBridges(o.BridgeRadius)
@@ -421,6 +444,7 @@ func (g *Graph) addBridges(radius float64) {
 			}
 			line := bresenham(pi, pj)
 			g.addSegment(i, j, line, true)
+			g.Stats.Bridges++
 		}
 	}
 }
@@ -451,6 +475,7 @@ func (g *Graph) spanningCut(max bool) {
 			continue // tree edge, kept intact
 		}
 		// Would close a loop: cut by detaching end B.
+		g.Stats.LoopsCut++
 		g.detach(si)
 	}
 }

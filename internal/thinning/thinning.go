@@ -55,6 +55,18 @@ func Thin(src *imaging.Binary, alg Algorithm) *imaging.Binary {
 // recycle the skeleton buffer instead of cloning the silhouette every
 // frame.
 func ThinInto(dst *imaging.Binary, src *imaging.Binary, alg Algorithm) *imaging.Binary {
+	dst, _ = ThinIntoCounted(dst, src, alg)
+	return dst
+}
+
+// ThinIntoCounted is ThinInto additionally reporting how many full
+// peel iterations the algorithm ran before the skeleton stabilised
+// (one iteration = both subiterations; the final no-change sweep
+// counts). Iteration counts feed the pipeline.thin_passes health
+// counter — a jump in passes-per-frame flags silhouettes much thicker
+// than the extractor normally emits. MedialAxis is not iterative and
+// reports 1.
+func ThinIntoCounted(dst *imaging.Binary, src *imaging.Binary, alg Algorithm) (*imaging.Binary, int) {
 	if dst == nil {
 		dst = &imaging.Binary{}
 	}
@@ -64,18 +76,19 @@ func ThinInto(dst *imaging.Binary, src *imaging.Binary, alg Algorithm) *imaging.
 	} else {
 		dst.Pix = dst.Pix[:need]
 	}
+	passes := 1
 	switch alg {
 	case GuoHall:
 		copy(dst.Pix, src.Pix)
-		thinGuoHall(dst)
+		passes = thinGuoHall(dst)
 	case MedialAxis:
 		m := medialAxis(src)
 		copy(dst.Pix, m.Pix)
 	default:
 		copy(dst.Pix, src.Pix)
-		thinZhangSuen(dst)
+		passes = thinZhangSuen(dst)
 	}
-	return dst
+	return dst, passes
 }
 
 // neighborhood gathers the classical P2..P9 neighbourhood of (x, y) in
@@ -123,7 +136,9 @@ func sumNeighbors(p [8]uint8) int {
 //	(d) P4 * P6 * P8 == 0   (east × south × west)
 //
 // Subiteration 2 replaces (c)/(d) with P2*P4*P8 == 0 and P2*P6*P8 == 0.
-func thinZhangSuen(img *imaging.Binary) {
+//
+// Returns the number of iterations run (including the final stable one).
+func thinZhangSuen(img *imaging.Binary) int {
 	// Indices into the P2..P9 ordering: P2=0 (N), P3=1, P4=2 (E), P5=3,
 	// P6=4 (S), P7=5, P8=6 (W), P9=7.
 	const (
@@ -133,7 +148,9 @@ func thinZhangSuen(img *imaging.Binary) {
 		pW = 6
 	)
 	del := make([]int, 0, 256)
+	passes := 0
 	for {
+		passes++
 		changed := false
 		for sub := 0; sub < 2; sub++ {
 			del = del[:0]
@@ -171,15 +188,18 @@ func thinZhangSuen(img *imaging.Binary) {
 			}
 		}
 		if !changed {
-			return
+			return passes
 		}
 	}
 }
 
 // thinGuoHall applies Guo–Hall (1989) thinning in place until stable.
-func thinGuoHall(img *imaging.Binary) {
+// Returns the number of iterations run (including the final stable one).
+func thinGuoHall(img *imaging.Binary) int {
 	del := make([]int, 0, 256)
+	passes := 0
 	for {
+		passes++
 		changed := false
 		for sub := 0; sub < 2; sub++ {
 			del = del[:0]
@@ -234,7 +254,7 @@ func thinGuoHall(img *imaging.Binary) {
 			}
 		}
 		if !changed {
-			return
+			return passes
 		}
 	}
 }
