@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet sljcheck lint test race test-race bench bench-json bench-smoke experiments figures fuzz clean
+.PHONY: all build vet sljcheck lint test race test-race bench bench-json bench-smoke bench-stream experiments figures fuzz clean
 
 all: build lint test
 
@@ -45,6 +45,16 @@ bench-smoke:
 	go run ./cmd/sljeval -data smoke_data -workers 4 -metrics-out metrics_snapshot.json > /dev/null
 	rm -rf smoke_data
 
+# Streaming-corpus benchmark + round trip: snapshot the streaming
+# evaluation benchmarks (frames/s and peak decoded-clip residency land
+# in the JSON's "extra" field) into BENCH_stream.json, then prove the
+# save -> stream -> evaluate path end to end on a generated corpus.
+bench-stream:
+	go test -bench BenchmarkStreamEvaluate -benchmem -benchtime 1x -run '^$$' . | tee bench_output.txt | go run ./cmd/benchjson > BENCH_stream.json
+	go run ./cmd/sljgen -out stream_data -train 2 -test 1
+	go run ./cmd/sljeval -data stream_data -stream -workers 4 -metrics-out metrics_stream.json > /dev/null
+	rm -rf stream_data
+
 # Regenerate every paper figure/result at full size (see DESIGN.md §4).
 experiments:
 	go run ./cmd/sljexp -exp all -artifacts figures/ | tee results_full.txt
@@ -60,4 +70,4 @@ fuzz:
 	go test -fuzz FuzzReader -fuzztime 10s ./internal/video/
 
 clean:
-	rm -rf figures/ results_full.txt test_output.txt bench_output.txt smoke_data BENCH_smoke.json metrics_snapshot.json
+	rm -rf figures/ results_full.txt test_output.txt bench_output.txt smoke_data BENCH_smoke.json metrics_snapshot.json stream_data BENCH_stream.json metrics_stream.json

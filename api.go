@@ -375,12 +375,29 @@ func (s *System) analyzeClip(lc dataset.LabeledClip) ([]FrameAnalysis, error) {
 	return out, nil
 }
 
+// clipFrame returns frame i of a clip. Materialised clips index their
+// Frames slice; streamed clips (a non-nil Reader) decode the frame from
+// disk on demand, so a clip's pixel data is resident only while the
+// pipeline is consuming it.
+func clipFrame(lc dataset.LabeledClip, i int) (synth.Frame, error) {
+	if lc.Reader == nil {
+		return lc.Clip.Frames[i], nil
+	}
+	fr, err := lc.Reader.ReadFrame(i)
+	if err != nil {
+		return synth.Frame{}, fmt.Errorf("slj: clip %s frame %d: %w", lc.Name, i, err)
+	}
+	return fr, nil
+}
+
 // silhouetteSource prepares per-frame silhouette production for a clip:
 // it installs the clip background (when extracting) and returns a closure
 // yielding frame i's silhouette. The closure is stateful — ROI tracking
 // feeds each silhouette back into the tracker — so it must be called with
 // i = 0, 1, 2, ... in order, from a single goroutine. Both the batch path
-// (clipSilhouettes) and the Engine's pipelined path drive it.
+// (clipSilhouettes) and the Engine's pipelined path drive it. Streamed
+// clips decode each frame as it is requested, overlapping disk I/O with
+// the downstream analysis stages.
 func (s *System) silhouetteSource(lc dataset.LabeledClip) (func(i int) (*imaging.Binary, error), error) {
 	if !s.opts.UseGroundTruthSilhouettes {
 		if lc.Clip.Background == nil {
@@ -397,7 +414,10 @@ func (s *System) silhouetteSource(lc dataset.LabeledClip) (func(i int) (*imaging
 		tr = track.DefaultTracker()
 	}
 	return func(i int) (*imaging.Binary, error) {
-		fr := lc.Clip.Frames[i]
+		fr, err := clipFrame(lc, i)
+		if err != nil {
+			return nil, err
+		}
 		if s.opts.UseGroundTruthSilhouettes {
 			if fr.Silhouette == nil {
 				return nil, fmt.Errorf("slj: clip %s frame %d has no ground-truth silhouette", lc.Name, i)
@@ -405,7 +425,6 @@ func (s *System) silhouetteSource(lc dataset.LabeledClip) (func(i int) (*imaging
 			return fr.Silhouette, nil
 		}
 		var sil *imaging.Binary
-		var err error
 		if tr != nil {
 			if roi, roiErr := tr.ROI(roiMargin, fr.Image.W, fr.Image.H); roiErr == nil {
 				sil, err = s.extractor.ExtractInROI(fr.Image, roi)
@@ -478,15 +497,34 @@ func (s *System) TrainClip(lc dataset.LabeledClip) error {
 	return nil
 }
 
-// Train trains on every clip.
+// Train trains on every clip. It is a thin adapter over TrainSource.
 func (s *System) Train(clips []dataset.LabeledClip) error {
 	if len(clips) == 0 {
 		return errors.New("slj: no training clips")
 	}
-	for _, lc := range clips {
+	return s.TrainSource(dataset.Materialized(clips))
+}
+
+// TrainSource trains on every clip the source yields, one clip at a
+// time in source order — only the clip being analysed is resident. The
+// source is consumed to io.EOF but not closed.
+func (s *System) TrainSource(src dataset.ClipSource) error {
+	n := 0
+	for {
+		lc, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("slj: %w", err)
+		}
 		if err := s.TrainClip(lc); err != nil {
 			return err
 		}
+		n++
+	}
+	if n == 0 {
+		return errors.New("slj: no training clips")
 	}
 	return nil
 }
@@ -543,12 +581,15 @@ func (s *System) MeasureJump(lc dataset.LabeledClip) (track.JumpMeasurement, err
 		s.SetBackground(lc.Clip.Background)
 	}
 	tr := track.DefaultTracker()
-	for i, fr := range lc.Clip.Frames {
+	for i := range lc.Clip.Frames {
+		fr, err := clipFrame(lc, i)
+		if err != nil {
+			return track.JumpMeasurement{}, err
+		}
 		var sil *imaging.Binary
 		if s.opts.UseGroundTruthSilhouettes {
 			sil = fr.Silhouette
 		} else {
-			var err error
 			if sil, err = s.extractor.Extract(fr.Image); err != nil {
 				return track.JumpMeasurement{}, fmt.Errorf("slj: frame %d: %w", i, err)
 			}
@@ -572,11 +613,26 @@ func Poses(results []dbn.Result) []pose.Pose {
 }
 
 // Evaluate classifies every test clip and scores it against ground truth,
-// reproducing the paper's Section 5 table.
+// reproducing the paper's Section 5 table. It is a thin adapter over
+// EvaluateSource.
 func (s *System) Evaluate(clips []dataset.LabeledClip) (stats.Summary, *stats.Confusion, error) {
+	return s.EvaluateSource(dataset.Materialized(clips))
+}
+
+// EvaluateSource classifies every clip the source yields and scores it
+// against ground truth, one clip at a time in source order. The source
+// is consumed to io.EOF but not closed.
+func (s *System) EvaluateSource(src dataset.ClipSource) (stats.Summary, *stats.Confusion, error) {
 	var sum stats.Summary
 	var conf stats.Confusion
-	for _, lc := range clips {
+	for {
+		lc, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return stats.Summary{}, nil, fmt.Errorf("slj: %w", err)
+		}
 		results, err := s.ClassifyClip(lc)
 		if err != nil {
 			return stats.Summary{}, nil, err

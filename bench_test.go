@@ -7,6 +7,7 @@ package slj_test
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 
 	slj "repro"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/extract"
 	"repro/internal/imaging"
 	"repro/internal/keypoint"
+	"repro/internal/obs"
 	"repro/internal/pose"
 	"repro/internal/skelgraph"
 	"repro/internal/synth"
@@ -180,6 +182,58 @@ func BenchmarkClassifyClipPipelined(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := eng.ClassifyClip(ds.Test[0]); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamEvaluate measures the streaming evaluation path: each
+// iteration opens a lazy DirSource over an on-disk corpus and evaluates
+// it, decoding clips and frames on demand. Beyond the standard metrics
+// it reports frames/s throughput and the peak decoded-clip residency
+// (engine.clips_in_flight), which the streaming layer bounds to the
+// worker count.
+func BenchmarkStreamEvaluate(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			ds, err := dataset.Generate(dataset.GenOptions{TrainClips: 2, TestClips: 2, Seed: 11, VaryBody: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			root := b.TempDir()
+			if err := dataset.Save(root, ds); err != nil {
+				b.Fatal(err)
+			}
+			scope := obs.NewScope(obs.NewRegistry())
+			eng, err := slj.NewEngine(w, slj.WithObservability(scope))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Train(ds.Train); err != nil {
+				b.Fatal(err)
+			}
+			_, testFrames := ds.TotalFrames()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src, err := dataset.OpenDir(filepath.Join(root, "test"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, _, err = eng.EvaluateSource(src)
+				src.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(testFrames)*float64(b.N)/s, "frames/s")
+			}
+			for _, g := range scope.Registry().Snapshot().Gauges {
+				if g.Name == "engine.clips_in_flight" {
+					b.ReportMetric(float64(g.Value), "peak-clips")
 				}
 			}
 		})

@@ -21,13 +21,16 @@ import (
 )
 
 // result is one benchmark line. Metrics absent from the line (e.g. B/op
-// without -benchmem) stay zero and are omitted.
+// without -benchmem) stay zero and are omitted. Custom units reported
+// via b.ReportMetric (frames/s, peak-clips, ...) land in Extra keyed by
+// their unit string.
 type result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // parseLine decodes one `BenchmarkName-P  N  123 ns/op  45 B/op  6 allocs/op`
@@ -57,6 +60,13 @@ func parseLine(line string) (result, bool) {
 		case "allocs/op":
 			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
 				r.AllocsPerOp = v
+			}
+		default:
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[unit] = v
 			}
 		}
 	}

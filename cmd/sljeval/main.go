@@ -4,17 +4,22 @@
 //
 // Usage:
 //
-//	sljeval -data data/ [-model model.gob]
+//	sljeval -data data/ [-model model.gob] [-stream]
 //
 // Without -model the classifier is trained in-process on the dataset's
-// training split first.
+// training split first. With -stream the corpus is not materialised:
+// clips (and the frames inside them) are decoded lazily as the engine
+// pulls them, so corpora larger than RAM evaluate in bounded memory
+// with identical results.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"path/filepath"
 
 	slj "repro"
 	"repro/internal/dataset"
@@ -31,6 +36,7 @@ func main() {
 		model   = flag.String("model", "", "trained model from sljtrain (optional; trains in-process when empty)")
 		viterbi = flag.Bool("viterbi", false, "also report joint Viterbi decoding (the EXT3 extension)")
 		workers = flag.Int("workers", 1, "clip-evaluation workers (1 sequential, 0 or -1 all CPUs); results are identical at any setting")
+		stream  = flag.Bool("stream", false, "stream clips lazily from -data instead of materialising the corpus up front (bounded memory, identical results)")
 	)
 	var ocli obs.CLI
 	ocli.RegisterFlags(flag.CommandLine)
@@ -44,9 +50,24 @@ func main() {
 		log.Fatal(err)
 	}
 
-	ds, err := dataset.Load(*data)
-	if err != nil {
-		log.Fatal(err)
+	// openTrain/openTest yield the corpus: materialised from one up-front
+	// Load by default, or as lazy directory streams under -stream (only
+	// the clips in flight are decoded; the engine overlaps disk I/O with
+	// the vision front end).
+	var openTrain, openTest func() (dataset.ClipSource, error)
+	if *stream {
+		if _, _, err := dataset.OpenSplits(*data); err != nil {
+			log.Fatal(err)
+		}
+		openTrain = func() (dataset.ClipSource, error) { return dataset.OpenDir(filepath.Join(*data, "train")) }
+		openTest = func() (dataset.ClipSource, error) { return dataset.OpenDir(filepath.Join(*data, "test")) }
+	} else {
+		ds, err := dataset.Load(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		openTrain = func() (dataset.ClipSource, error) { return dataset.Materialized(ds.Train), nil }
+		openTest = func() (dataset.ClipSource, error) { return dataset.Materialized(ds.Test), nil }
 	}
 	eng, err := slj.NewEngine(*workers, slj.WithObservability(scope))
 	if err != nil {
@@ -64,15 +85,23 @@ func main() {
 			log.Fatal(err)
 		}
 	} else {
-		if len(ds.Train) == 0 {
-			log.Fatal("no training clips in dataset and no -model given")
+		src, err := openTrain()
+		if err != nil {
+			log.Fatal(err)
 		}
-		if err := eng.Train(ds.Train); err != nil {
+		err = eng.TrainSource(src)
+		src.Close()
+		if err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	sum, conf, err := eng.Evaluate(ds.Test)
+	testSrc, err := openTest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, conf, err := eng.EvaluateSource(testSrc)
+	testSrc.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,7 +115,18 @@ func main() {
 
 	if *viterbi {
 		var vsum stats.Summary
-		for _, lc := range ds.Test {
+		vsrc, err := openTest()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for {
+			lc, err := vsrc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
 			seq, err := sys.ClassifyClipViterbi(lc)
 			if err != nil {
 				log.Fatal(err)
@@ -97,6 +137,7 @@ func main() {
 			}
 			vsum.Add(cr)
 		}
+		vsrc.Close()
 		fmt.Println("\nViterbi joint decoding (EXT3 extension):")
 		fmt.Print(vsum.Table())
 	}

@@ -30,6 +30,7 @@ func main() {
 		quick     = flag.Bool("quick", false, "reduced workloads")
 		artifacts = flag.String("artifacts", "", "directory for figure image/dot artifacts (optional)")
 		workers   = flag.Int("workers", 0, "clip-evaluation workers for sec5/cv and the ext sweeps (0 sequential, -1 all CPUs); results are identical at any setting")
+		stream    = flag.Bool("stream", false, "round-trip the corpus through a temp dir and stream clips lazily from disk (sec5; identical results)")
 	)
 	var ocli obs.CLI
 	ocli.RegisterFlags(flag.CommandLine)
@@ -39,7 +40,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, ArtifactDir: *artifacts, Workers: *workers, Obs: scope}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, ArtifactDir: *artifacts, Workers: *workers, Obs: scope, Stream: *stream}
 	names := experiments.Names()
 	if *exp != "all" {
 		names = strings.Split(*exp, ",")

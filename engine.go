@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dataset"
@@ -40,6 +41,8 @@ type Engine struct {
 	// systems are checked out
 	systems []*System    // len == workers; systems[0] == sys
 	free    chan *System // worker checkout; buffered to len(systems)
+
+	inflight atomic.Int64 // source clips checked out by workers
 }
 
 // NewEngine builds a System from opts (as NewSystem would) and wraps it
@@ -122,95 +125,213 @@ func (e *Engine) release(s *System) {
 	e.scope.PoolFree(len(e.free))
 }
 
-// Train trains the shared classifier on every clip. The front-end
-// analysis of the clips fans out over the worker pool; the resulting
-// labelled sequences are then fed to the DBN bank serially, in clip
-// order, because training updates depend on sequence order. The trained
-// model is byte-identical to System.Train's.
+// attachSource hands the engine's scope to sources that support
+// instrumentation (dataset.clips_streamed, dataset.decode_ns).
+func (e *Engine) attachSource(src dataset.ClipSource) {
+	if s, ok := src.(interface{ SetScope(*obs.Scope) }); ok {
+		s.SetScope(e.scope)
+	}
+}
+
+// pullFrom wraps a source's Next with stall accounting: the time a
+// worker spends inside Next (the serialised pull, including any header
+// decode the source does there) accumulates in engine.source_stall_ns.
+func (e *Engine) pullFrom(src dataset.ClipSource) func() (dataset.LabeledClip, error) {
+	sc := e.scope
+	if sc == nil {
+		return src.Next
+	}
+	return func() (dataset.LabeledClip, error) {
+		t0 := time.Now()
+		lc, err := src.Next()
+		sc.SourceStall(time.Since(t0))
+		return lc, err
+	}
+}
+
+// trackClip counts a source clip checked out by a worker; the returned
+// func checks it back in. The high-water mark lands in the
+// engine.clips_in_flight gauge — peak decoded-clip residency, which the
+// streaming paths bound to the worker count.
+func (e *Engine) trackClip() func() {
+	n := e.inflight.Add(1)
+	e.scope.ClipsInFlight(int(n))
+	return func() { e.inflight.Add(-1) }
+}
+
+// seqTracked wraps a source for the engine's sequential (workers <= 1)
+// delegates so they share the parallel path's accounting: each pull is
+// timed into engine.source_stall_ns, and the clip stays checked out —
+// counted in engine.clips_in_flight — until the next pull replaces it.
+// The gauge therefore reads the true single-clip residency of the
+// sequential path rather than zero.
+type seqTracked struct {
+	src     dataset.ClipSource
+	e       *Engine
+	pull    func() (dataset.LabeledClip, error)
+	checkin func()
+}
+
+func (e *Engine) seqSource(src dataset.ClipSource) *seqTracked {
+	return &seqTracked{src: src, e: e, pull: e.pullFrom(src)}
+}
+
+func (t *seqTracked) Next() (dataset.LabeledClip, error) {
+	if t.checkin != nil {
+		t.checkin()
+		t.checkin = nil
+	}
+	lc, err := t.pull()
+	if err != nil {
+		return lc, err
+	}
+	t.checkin = t.e.trackClip()
+	return lc, nil
+}
+
+func (t *seqTracked) Close() error { return t.src.Close() }
+
+// Train trains the shared classifier on every clip, materialised-slice
+// form. It is a thin adapter over TrainSource.
 func (e *Engine) Train(clips []dataset.LabeledClip) error {
 	if len(clips) == 0 {
 		return errors.New("slj: no training clips")
 	}
+	return e.TrainSource(dataset.Materialized(clips))
+}
+
+// TrainSource trains the shared classifier on every clip the source
+// yields. The front-end analysis of the clips fans out over the worker
+// pool, pulling clips on demand so at most `workers` decoded clips are
+// in flight; the resulting labelled sequences are then fed to the DBN
+// bank serially, in source order, because training updates depend on
+// sequence order. The trained model is byte-identical to System.Train's
+// on the same clips. The source is consumed to io.EOF but not closed.
+func (e *Engine) TrainSource(src dataset.ClipSource) error {
+	e.attachSource(src)
 	if e.workers <= 1 {
-		return e.sys.Train(clips)
+		return e.sys.TrainSource(e.seqSource(src))
 	}
-	seqs, err := parallel.MapOrdered(e.workers, clips,
-		func(_ int, lc dataset.LabeledClip) ([]dbn.LabeledFrame, error) {
+	type clipSeq struct {
+		name   string
+		frames []dbn.LabeledFrame
+	}
+	seqs, err := parallel.MapSource(e.workers, e.pullFrom(src),
+		func(_ int, lc dataset.LabeledClip) (clipSeq, error) {
+			defer e.trackClip()()
 			s := e.acquire()
 			defer e.release(s)
 			defer s.observeClip(lc.Name)()
 			fas, err := s.analyzeClip(lc)
 			if err != nil {
-				return nil, err
+				return clipSeq{}, err
 			}
 			frames := make([]dbn.LabeledFrame, len(fas))
 			for j, fa := range fas {
 				frames[j] = dbn.LabeledFrame{Label: lc.Clip.Frames[j].Label, Enc: fa.Encoding}
 			}
-			return frames, nil
+			return clipSeq{name: lc.Name, frames: frames}, nil
 		})
 	if err != nil {
 		return err
 	}
-	for ci, frames := range seqs {
-		if err := e.sys.classifier.TrainSequence(frames); err != nil {
-			return fmt.Errorf("slj: training on %s: %w", clips[ci].Name, err)
+	if len(seqs) == 0 {
+		return errors.New("slj: no training clips")
+	}
+	for _, cs := range seqs {
+		if err := e.sys.classifier.TrainSequence(cs.frames); err != nil {
+			return fmt.Errorf("slj: training on %s: %w", cs.name, err)
 		}
 	}
 	return nil
 }
 
-// Evaluate classifies every test clip on the worker pool and scores the
-// results against ground truth. Classification fans out; the summary and
-// confusion matrix are accumulated in clip order afterwards, so the
-// output matches System.Evaluate exactly.
+// Evaluate classifies every test clip and scores the results against
+// ground truth, materialised-slice form. It is a thin adapter over
+// EvaluateSource.
 func (e *Engine) Evaluate(clips []dataset.LabeledClip) (stats.Summary, *stats.Confusion, error) {
+	return e.EvaluateSource(dataset.Materialized(clips))
+}
+
+// clipScore carries one classified clip's truth and prediction out of
+// the worker pool; the decoded images are dropped with the clip.
+type clipScore struct {
+	name         string
+	truth, preds []Pose
+}
+
+// EvaluateSource classifies every clip the source yields on the worker
+// pool and scores the results against ground truth. Clips are pulled on
+// demand — peak residency is bounded by the worker count — and the
+// summary and confusion matrix are accumulated in source order
+// afterwards, so the output matches System.Evaluate over the same clips
+// exactly. The source is consumed to io.EOF but not closed.
+func (e *Engine) EvaluateSource(src dataset.ClipSource) (stats.Summary, *stats.Confusion, error) {
+	e.attachSource(src)
 	if e.workers <= 1 {
-		return e.sys.Evaluate(clips)
+		return e.sys.EvaluateSource(e.seqSource(src))
 	}
-	preds, err := parallel.MapOrdered(e.workers, clips,
-		func(_ int, lc dataset.LabeledClip) ([]dbn.Result, error) {
+	scores, err := parallel.MapSource(e.workers, e.pullFrom(src),
+		func(_ int, lc dataset.LabeledClip) (clipScore, error) {
+			defer e.trackClip()()
 			s := e.acquire()
 			defer e.release(s)
-			return s.ClassifyClip(lc)
+			res, err := s.ClassifyClip(lc)
+			if err != nil {
+				return clipScore{}, err
+			}
+			return clipScore{name: lc.Name, truth: lc.Clip.Labels(), preds: Poses(res)}, nil
 		})
 	if err != nil {
 		return stats.Summary{}, nil, err
 	}
 	var sum stats.Summary
 	var conf stats.Confusion
-	for ci, results := range preds {
-		lc := clips[ci]
-		pred := Poses(results)
-		truth := lc.Clip.Labels()
-		cr, err := stats.EvaluateClip(lc.Name, truth, pred)
+	for _, cs := range scores {
+		cr, err := stats.EvaluateClip(cs.name, cs.truth, cs.preds)
 		if err != nil {
 			return stats.Summary{}, nil, fmt.Errorf("slj: %w", err)
 		}
 		sum.Add(cr)
-		for i := range truth {
-			conf.Add(truth[i], pred[i])
+		for i := range cs.truth {
+			conf.Add(cs.truth[i], cs.preds[i])
 		}
 	}
 	return sum, &conf, nil
 }
 
-// ClassifyAll decodes every clip on the worker pool, returning per-clip
-// frame results in input order.
+// ClassifyAll decodes every clip, materialised-slice form. It is a thin
+// adapter over ClassifyAllSource.
 func (e *Engine) ClassifyAll(clips []dataset.LabeledClip) ([][]dbn.Result, error) {
+	return e.ClassifyAllSource(dataset.Materialized(clips))
+}
+
+// ClassifyAllSource decodes every clip the source yields on the worker
+// pool, returning per-clip frame results in source order. The source is
+// consumed to io.EOF but not closed.
+func (e *Engine) ClassifyAllSource(src dataset.ClipSource) ([][]dbn.Result, error) {
+	e.attachSource(src)
 	if e.workers <= 1 {
-		out := make([][]dbn.Result, len(clips))
-		for i, lc := range clips {
+		ts := e.seqSource(src)
+		var out [][]dbn.Result
+		for {
+			lc, err := ts.Next()
+			if err == io.EOF {
+				return out, nil
+			}
+			if err != nil {
+				return nil, fmt.Errorf("slj: %w", err)
+			}
 			res, err := e.sys.ClassifyClip(lc)
 			if err != nil {
 				return nil, err
 			}
-			out[i] = res
+			out = append(out, res)
 		}
-		return out, nil
 	}
-	return parallel.MapOrdered(e.workers, clips,
+	return parallel.MapSource(e.workers, e.pullFrom(src),
 		func(_ int, lc dataset.LabeledClip) ([]dbn.Result, error) {
+			defer e.trackClip()()
 			s := e.acquire()
 			defer e.release(s)
 			return s.ClassifyClip(lc)

@@ -185,6 +185,80 @@ func TestLoadEmptyRoot(t *testing.T) {
 	}
 }
 
+func TestLoadClipMissingSilhouetteTolerated(t *testing.T) {
+	ds, err := Generate(GenOptions{TrainClips: 1, TestClips: 1, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "clip")
+	if err := SaveClip(dir, ds.Train[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Silhouettes are optional ground truth: an absent file is a clip
+	// saved without them, not corruption.
+	if err := os.Remove(filepath.Join(dir, "silhouette-000.pbm")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadClip(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Clip.Frames[0].Silhouette != nil {
+		t.Error("frame 0 silhouette decoded from a removed file")
+	}
+	if got.Clip.Frames[1].Silhouette == nil {
+		t.Error("frame 1 silhouette lost")
+	}
+}
+
+// TestLoadClipSilhouetteOpenErrorIsCorrupt is the regression test for
+// the tolerated-error bug: only fs.ErrNotExist may downgrade a
+// silhouette to nil. Any other open failure — here an unresolvable
+// symlink loop standing in for a permission error or I/O fault — must
+// surface as ErrCorrupt instead of silently dropping ground truth.
+func TestLoadClipSilhouetteOpenErrorIsCorrupt(t *testing.T) {
+	ds, err := Generate(GenOptions{TrainClips: 1, TestClips: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "clip")
+	if err := SaveClip(dir, ds.Train[0]); err != nil {
+		t.Fatal(err)
+	}
+	sil := filepath.Join(dir, "silhouette-000.pbm")
+	if err := os.Remove(sil); err != nil {
+		t.Fatal(err)
+	}
+	// A self-referencing symlink opens with ELOOP — an error that is
+	// not fs.ErrNotExist — even when the test runs as root (where
+	// permission bits would not bite).
+	if err := os.Symlink(sil, sil); err != nil {
+		t.Skipf("cannot create symlink: %v", err)
+	}
+	if _, err := LoadClip(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadMissingSplitDirIsEmptySplit(t *testing.T) {
+	ds, err := Generate(GenOptions{TrainClips: 1, TestClips: 1, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	// Save only the test split: no train/ directory exists at all.
+	if err := SaveClip(filepath.Join(root, "test", ds.Test[0].Name), ds.Test[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(root)
+	if err != nil {
+		t.Fatalf("evaluation-only corpus rejected: %v", err)
+	}
+	if len(got.Train) != 0 || len(got.Test) != 1 {
+		t.Fatalf("loaded split = %d/%d, want 0/1", len(got.Train), len(got.Test))
+	}
+}
+
 func TestLoadedLabelsParse(t *testing.T) {
 	// Every pose name written must parse back (ParsePose round trip
 	// through the file format).

@@ -1,0 +1,186 @@
+package dataset
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// saveSmall writes a tiny generated dataset to a temp root.
+func saveSmall(t *testing.T, seed int64) (*Dataset, string) {
+	t.Helper()
+	ds, err := Generate(GenOptions{TrainClips: 2, TestClips: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	if err := Save(root, ds); err != nil {
+		t.Fatal(err)
+	}
+	return ds, root
+}
+
+// drain pulls a source to io.EOF, returning the clips.
+func drain(t *testing.T, src ClipSource) []LabeledClip {
+	t.Helper()
+	var out []LabeledClip
+	for {
+		lc, err := src.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, lc)
+	}
+}
+
+func TestMaterializedSource(t *testing.T) {
+	ds, err := Generate(GenOptions{TrainClips: 3, TestClips: 1, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Materialized(ds.Train)
+	if src.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", src.Len())
+	}
+	got := drain(t, src)
+	if len(got) != 3 {
+		t.Fatalf("drained %d clips, want 3", len(got))
+	}
+	for i, lc := range got {
+		if lc.Name != ds.Train[i].Name {
+			t.Errorf("clip %d = %s, want %s (order must match the slice)", i, lc.Name, ds.Train[i].Name)
+		}
+	}
+	// EOF is sticky.
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("Next after EOF = %v, want io.EOF", err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenDirMissingIsEmpty(t *testing.T) {
+	src, err := OpenDir(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", src.Len())
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("Next = %v, want io.EOF", err)
+	}
+}
+
+func TestOpenSplitsEmptyCorpus(t *testing.T) {
+	if _, _, err := OpenSplits(t.TempDir()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenSplitsEvaluationOnlyCorpus(t *testing.T) {
+	ds, root := saveSmall(t, 11)
+	// Strip the train split: an evaluation-only corpus must still open.
+	if err := os.RemoveAll(filepath.Join(root, "train")); err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := OpenSplits(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 0 {
+		t.Errorf("train Len = %d, want 0", train.Len())
+	}
+	if test.Len() != len(ds.Test) {
+		t.Errorf("test Len = %d, want %d", test.Len(), len(ds.Test))
+	}
+}
+
+// TestDirSourceMatchesLoadClip pins the lazy contract: a streamed clip
+// carries every label and stage up front, no pixel data, and each
+// ReadFrame reproduces exactly what the eager LoadClip decodes.
+func TestDirSourceMatchesLoadClip(t *testing.T) {
+	ds, root := saveSmall(t, 12)
+	src, err := OpenDir(filepath.Join(root, "train"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	got := drain(t, src)
+	if len(got) != len(ds.Train) {
+		t.Fatalf("streamed %d clips, want %d", len(got), len(ds.Train))
+	}
+	for i, lc := range got {
+		want, err := LoadClip(filepath.Join(root, "train", lc.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lc.Name != ds.Train[i].Name {
+			t.Fatalf("clip %d = %s, want %s (sorted directory order)", i, lc.Name, ds.Train[i].Name)
+		}
+		if lc.Reader == nil {
+			t.Fatal("streamed clip has no Reader")
+		}
+		if len(lc.Clip.Frames) != len(want.Clip.Frames) {
+			t.Fatalf("%s: %d frames, want %d", lc.Name, len(lc.Clip.Frames), len(want.Clip.Frames))
+		}
+		for k, fr := range lc.Clip.Frames {
+			if fr.Image != nil || fr.Silhouette != nil {
+				t.Fatalf("%s frame %d: pixel data decoded eagerly", lc.Name, k)
+			}
+			if fr.Label != want.Clip.Frames[k].Label || fr.Stage != want.Clip.Frames[k].Stage {
+				t.Fatalf("%s frame %d: label/stage mismatch", lc.Name, k)
+			}
+			dec, err := lc.Reader.ReadFrame(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !dec.Silhouette.Equal(want.Clip.Frames[k].Silhouette) {
+				t.Fatalf("%s frame %d: silhouette mismatch", lc.Name, k)
+			}
+			for p := range dec.Image.Pix {
+				if dec.Image.Pix[p] != want.Clip.Frames[k].Image.Pix[p] {
+					t.Fatalf("%s frame %d: pixel mismatch", lc.Name, k)
+				}
+			}
+		}
+		if _, err := lc.Reader.ReadFrame(len(lc.Clip.Frames)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("out-of-range ReadFrame err = %v, want ErrCorrupt", err)
+		}
+	}
+}
+
+func TestSourcesCountClipsStreamed(t *testing.T) {
+	ds, root := saveSmall(t, 13)
+	streamed := func(src ClipSource) int64 {
+		scope := obs.NewScope(obs.NewRegistry())
+		if s, ok := src.(interface{ SetScope(*obs.Scope) }); ok {
+			s.SetScope(scope)
+		}
+		drain(t, src)
+		for _, c := range scope.Registry().Snapshot().Counters {
+			if c.Name == "dataset.clips_streamed" {
+				return c.Value
+			}
+		}
+		return 0
+	}
+	if got := streamed(Materialized(ds.Train)); got != int64(len(ds.Train)) {
+		t.Errorf("materialized clips_streamed = %d, want %d", got, len(ds.Train))
+	}
+	src, err := OpenDir(filepath.Join(root, "train"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := streamed(src); got != int64(len(ds.Train)) {
+		t.Errorf("dir clips_streamed = %d, want %d", got, len(ds.Train))
+	}
+}

@@ -204,6 +204,37 @@ func Sec5(cfg Config) (Sec5Result, error) {
 	res := Sec5Result{TrainClips: len(ds.Train), TestClips: len(ds.Test)}
 	res.TrainFrames, res.TestFrames = ds.TotalFrames()
 
+	// Under cfg.Stream the corpus round-trips through a temp dir and
+	// every pass below streams clips from disk; otherwise the in-memory
+	// slices back the sources. Results are identical either way.
+	openTrain, openTest, cleanup, err := cfg.sources(ds)
+	if err != nil {
+		return Sec5Result{}, err
+	}
+	defer cleanup()
+	train := func(eng *slj.Engine) error {
+		src, err := openTrain()
+		if err != nil {
+			return err
+		}
+		err = eng.TrainSource(src)
+		if cerr := src.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	evaluate := func(eng *slj.Engine) (stats.Summary, *stats.Confusion, error) {
+		src, err := openTest()
+		if err != nil {
+			return stats.Summary{}, nil, err
+		}
+		sum, conf, err := eng.EvaluateSource(src)
+		if cerr := src.Close(); err == nil {
+			err = cerr
+		}
+		return sum, conf, err
+	}
+
 	// The worker-pool engine fans clip training analysis and evaluation
 	// out over cfg.Workers; results are bit-identical to the sequential
 	// path at any worker count.
@@ -211,10 +242,10 @@ func Sec5(cfg Config) (Sec5Result, error) {
 	if err != nil {
 		return Sec5Result{}, err
 	}
-	if err := eng.Train(ds.Train); err != nil {
+	if err := train(eng); err != nil {
 		return Sec5Result{}, err
 	}
-	sum, conf, err := eng.Evaluate(ds.Test)
+	sum, conf, err := evaluate(eng)
 	if err != nil {
 		return Sec5Result{}, err
 	}
@@ -225,7 +256,14 @@ func Sec5(cfg Config) (Sec5Result, error) {
 	if err != nil {
 		return Sec5Result{}, err
 	}
-	allResults, err := eng.ClassifyAll(ds.Test)
+	testSrc, err := openTest()
+	if err != nil {
+		return Sec5Result{}, err
+	}
+	allResults, err := eng.ClassifyAllSource(testSrc)
+	if cerr := testSrc.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return Sec5Result{}, err
 	}
@@ -246,10 +284,10 @@ func Sec5(cfg Config) (Sec5Result, error) {
 	if err != nil {
 		return Sec5Result{}, err
 	}
-	if err := engNoTh.Train(ds.Train); err != nil {
+	if err := train(engNoTh); err != nil {
 		return Sec5Result{}, err
 	}
-	sumNoTh, _, err := engNoTh.Evaluate(ds.Test)
+	sumNoTh, _, err := evaluate(engNoTh)
 	if err != nil {
 		return Sec5Result{}, err
 	}

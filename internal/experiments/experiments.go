@@ -11,10 +11,13 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
 	slj "repro"
+	"repro/internal/dataset"
 	"repro/internal/obs"
 )
 
@@ -41,6 +44,12 @@ type Config struct {
 	// (stage latency histograms, health counters) and receives one
 	// sweep.<exp>.<point>.ms counter per sweep point with its wall time.
 	Obs *obs.Scope
+	// Stream round-trips the generated corpus through a temporary
+	// on-disk directory and streams clips lazily from it instead of
+	// evaluating the in-memory slices (currently honoured by sec5).
+	// Results are identical; only the I/O path changes — this is the
+	// same bounded-memory path as sljeval -stream.
+	Stream bool
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -62,6 +71,31 @@ func (c Config) newEngine(opts ...slj.Option) (*slj.Engine, error) {
 		opts = append(opts, slj.WithObservability(c.Obs))
 	}
 	return slj.NewEngine(c.workersOrSequential(), opts...)
+}
+
+// sources adapts a generated dataset to Config.Stream: by default the
+// in-memory slices back MaterializedSources; with Stream set the
+// dataset is first saved to a temporary on-disk corpus (removed by
+// cleanup) and every open call streams that split's clips lazily from
+// disk. Each returned opener yields a fresh single-use source, so a
+// split can be traversed any number of times.
+func (c Config) sources(ds *dataset.Dataset) (train, test func() (dataset.ClipSource, error), cleanup func(), err error) {
+	if !c.Stream {
+		train = func() (dataset.ClipSource, error) { return dataset.Materialized(ds.Train), nil }
+		test = func() (dataset.ClipSource, error) { return dataset.Materialized(ds.Test), nil }
+		return train, test, func() {}, nil
+	}
+	root, err := os.MkdirTemp("", "slj-stream-")
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("experiments: stream corpus: %w", err)
+	}
+	if err := dataset.Save(root, ds); err != nil {
+		os.RemoveAll(root)
+		return nil, nil, nil, err
+	}
+	train = func() (dataset.ClipSource, error) { return dataset.OpenDir(filepath.Join(root, "train")) }
+	test = func() (dataset.ClipSource, error) { return dataset.OpenDir(filepath.Join(root, "test")) }
+	return train, test, func() { os.RemoveAll(root) }, nil
 }
 
 // sweepPoint reports one sweep point's wall time since start into the

@@ -75,6 +75,11 @@ type Scope struct {
 	acquireNS  *Counter
 	enginePool *Gauge
 	par        *ParallelStats
+
+	clipsStreamed *Counter
+	decodeNS      *Histogram
+	sourceStall   *Counter
+	clipsInFlight *Gauge
 }
 
 // NewScope builds a scope over reg, resolving the full pipeline metric
@@ -98,6 +103,11 @@ func NewScope(reg *Registry) *Scope {
 		acquireNS:  reg.Counter("engine.acquire_stall_ns"),
 		enginePool: reg.Gauge("engine.pool_free"),
 		par:        &ParallelStats{},
+
+		clipsStreamed: reg.Counter("dataset.clips_streamed"),
+		decodeNS:      reg.Histogram("dataset.decode_ns", LatencyBounds),
+		sourceStall:   reg.Counter("engine.source_stall_ns"),
+		clipsInFlight: reg.Gauge("engine.clips_in_flight"),
 	}
 	for st := Stage(0); st < numStages; st++ {
 		sc.stageNS[st] = reg.Histogram("stage."+st.String()+".ns", LatencyBounds)
@@ -283,4 +293,42 @@ func (sc *Scope) PoolFree(n int) {
 		return
 	}
 	sc.enginePool.Set(int64(n))
+}
+
+// ClipStreamed counts one clip handed out by a streaming corpus source.
+func (sc *Scope) ClipStreamed() {
+	if sc == nil {
+		return
+	}
+	sc.clipsStreamed.Inc()
+}
+
+// DecodeTime records one on-disk decode (a clip header, frame image or
+// silhouette) into the dataset decode-latency histogram.
+func (sc *Scope) DecodeTime(d time.Duration) {
+	if sc == nil {
+		return
+	}
+	sc.decodeNS.Observe(d.Nanoseconds())
+}
+
+// SourceStall adds time an engine worker spent pulling the next clip
+// from a streaming source (lock hand-off plus any decode the source does
+// in Next). Low values relative to stage latencies mean disk I/O is
+// successfully overlapped with the vision front end.
+func (sc *Scope) SourceStall(d time.Duration) {
+	if sc == nil {
+		return
+	}
+	sc.sourceStall.Add(d.Nanoseconds())
+}
+
+// ClipsInFlight raises the high-water mark of clips concurrently checked
+// out of a streaming source — the engine's peak clip residency, bounded
+// by the worker count.
+func (sc *Scope) ClipsInFlight(n int) {
+	if sc == nil {
+		return
+	}
+	sc.clipsInFlight.Max(int64(n))
 }

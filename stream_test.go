@@ -1,0 +1,159 @@
+package slj
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/obs"
+)
+
+// saveCorpus writes ds as an on-disk corpus and returns its root.
+func saveCorpus(t *testing.T, ds *Dataset) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := dataset.Save(root, ds); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// openSplit opens a streaming source over one split of the corpus.
+func openSplit(t *testing.T, root, split string) *dataset.DirSource {
+	t.Helper()
+	src, err := dataset.OpenDir(filepath.Join(root, split))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// TestStreamingMatchesMaterialized is the streaming layer's golden
+// parity test: training and evaluating through lazy DirSources must
+// produce byte-identical models and identical summaries/confusions to
+// dataset.Load plus the slice APIs on a sequential System, at every
+// worker count — while the obs counters prove the clips actually
+// streamed and peak decoded-clip residency stayed within the worker
+// bound.
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	ds := smallDataset(t, 71)
+	root := saveCorpus(t, ds)
+
+	// Golden: one up-front Load, sequential System slice APIs.
+	loaded, err := dataset.Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, model := trainGolden(t, loaded)
+	wantSum, wantConf, err := sys.Evaluate(loaded.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		scope := obs.NewScope(obs.NewRegistry())
+		eng, err := NewEngine(workers, WithObservability(scope))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		trainSrc := openSplit(t, root, "train")
+		err = eng.TrainSource(trainSrc)
+		trainSrc.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := eng.SaveModel(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), model) {
+			t.Errorf("workers=%d: streamed model differs from materialized sequential", workers)
+		}
+
+		testSrc := openSplit(t, root, "test")
+		sum, conf, err := eng.EvaluateSource(testSrc)
+		testSrc.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sum, wantSum) {
+			t.Errorf("workers=%d: streamed summary differs from materialized sequential", workers)
+		}
+		if !reflect.DeepEqual(*conf, *wantConf) {
+			t.Errorf("workers=%d: streamed confusion differs from materialized sequential", workers)
+		}
+
+		snap := scope.Registry().Snapshot()
+		counters := map[string]int64{}
+		for _, c := range snap.Counters {
+			counters[c.Name] = c.Value
+		}
+		gauges := map[string]int64{}
+		for _, g := range snap.Gauges {
+			gauges[g.Name] = g.Value
+		}
+		if want := int64(len(loaded.Train) + len(loaded.Test)); counters["dataset.clips_streamed"] != want {
+			t.Errorf("workers=%d: dataset.clips_streamed = %d, want %d",
+				workers, counters["dataset.clips_streamed"], want)
+		}
+		peak := gauges["engine.clips_in_flight"]
+		if peak < 1 || peak > int64(workers) {
+			t.Errorf("workers=%d: peak clips in flight = %d, want in [1,%d]", workers, peak, workers)
+		}
+		decoded := false
+		for _, h := range snap.Histograms {
+			if h.Name == "dataset.decode_ns" && h.Count > 0 {
+				decoded = true
+			}
+		}
+		if !decoded {
+			t.Errorf("workers=%d: dataset.decode_ns recorded no decodes", workers)
+		}
+	}
+}
+
+// TestStreamingEvaluateCorruptClip garbles one clip in the middle of
+// the test split and checks that the streaming evaluation fails with an
+// error naming that clip — at both the sequential and the parallel
+// worker count — instead of hanging or reporting a partial summary.
+func TestStreamingEvaluateCorruptClip(t *testing.T) {
+	ds, err := GenerateDataset(dataset.GenOptions{
+		TrainClips: 2, TestClips: 3, Seed: 72, FaultEvery: 0, VaryBody: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := saveCorpus(t, ds)
+	_, model := trainGolden(t, ds)
+
+	// Garble a frame image of the middle test clip: the clip header
+	// still opens, so the failure surfaces mid-stream, inside a worker.
+	victim := filepath.Join(root, "test", "test-01", "frame-002.ppm")
+	if err := os.WriteFile(victim, []byte("not a ppm"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		eng, err := NewEngine(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.LoadModel(bytes.NewReader(model)); err != nil {
+			t.Fatal(err)
+		}
+		src := openSplit(t, root, "test")
+		_, _, err = eng.EvaluateSource(src)
+		src.Close()
+		if err == nil {
+			t.Fatalf("workers=%d: corrupt clip evaluated without error", workers)
+		}
+		if !strings.Contains(err.Error(), "test-01") {
+			t.Errorf("workers=%d: error %q does not name the corrupt clip test-01", workers, err)
+		}
+	}
+}
