@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet sljcheck lint test race test-race bench bench-json bench-smoke bench-stream experiments figures fuzz clean
+.PHONY: all build vet sljcheck lint test race test-race bench bench-json bench-smoke bench-stream bench-gate bench-baseline experiments figures fuzz clean
 
 all: build lint test
 
@@ -45,6 +45,19 @@ bench-smoke:
 	go run ./cmd/sljeval -data smoke_data -workers 4 -metrics-out metrics_snapshot.json > /dev/null
 	rm -rf smoke_data
 
+# Benchmark regression gate: run the per-stage hot-path benchmarks and
+# fail if allocs/op or ns/op regressed against the committed baseline.
+# Allocations are gated tightly (deterministic per toolchain, +10% and
+# 2 allocs of slack); wall time loosely (+500%, CI machines vary). Refresh
+# the baseline with `make bench-baseline` when a PR legitimately changes
+# the numbers, and commit BENCH_baseline.json alongside the change.
+bench-gate:
+	go test -bench 'BenchmarkStage' -benchmem -benchtime 10x -run '^$$' . | tee bench_output.txt | \
+		go run ./cmd/benchjson -compare BENCH_baseline.json -max-allocs-regress 10 -allocs-slack 2 -max-ns-regress 500 > BENCH_gate.json
+
+bench-baseline:
+	go test -bench 'BenchmarkStage' -benchmem -benchtime 10x -run '^$$' . | go run ./cmd/benchjson > BENCH_baseline.json
+
 # Streaming-corpus benchmark + round trip: snapshot the streaming
 # evaluation benchmarks (frames/s and peak decoded-clip residency land
 # in the JSON's "extra" field) into BENCH_stream.json, then prove the
@@ -70,4 +83,4 @@ fuzz:
 	go test -fuzz FuzzReader -fuzztime 10s ./internal/video/
 
 clean:
-	rm -rf figures/ results_full.txt test_output.txt bench_output.txt smoke_data BENCH_smoke.json metrics_snapshot.json stream_data BENCH_stream.json metrics_stream.json
+	rm -rf figures/ results_full.txt test_output.txt bench_output.txt smoke_data BENCH_smoke.json BENCH_gate.json metrics_snapshot.json stream_data BENCH_stream.json metrics_stream.json

@@ -118,6 +118,13 @@ type Options struct {
 	// nil (the default) disables all instrumentation at zero cost and
 	// leaves outputs bit-identical.
 	Scope *obs.Scope
+	// DisableFrameScratch turns off the per-worker frame arena, making
+	// every Analyze* call allocate fresh graph/key-point/skeleton storage
+	// exactly as the pre-arena pipeline did. Outputs are bit-identical
+	// either way (the golden tests pin this); the flag exists for that
+	// comparison and for callers that need FrameAnalysis products to
+	// outlive the next frame — see the FrameAnalysis ownership note.
+	DisableFrameScratch bool
 }
 
 // Option mutates Options.
@@ -167,7 +174,22 @@ func WithGAConfig(cfg ga.Config) Option { return func(o *Options) { o.GA = cfg }
 // expvar/JSON metric export. A nil scope is valid and means "off".
 func WithObservability(sc *obs.Scope) Option { return func(o *Options) { o.Scope = sc } }
 
+// WithFrameScratch toggles the per-worker frame arena (default on). Pass
+// false to restore the pre-arena allocate-per-frame behaviour, in which
+// FrameAnalysis products stay valid indefinitely.
+func WithFrameScratch(enabled bool) Option {
+	return func(o *Options) { o.DisableFrameScratch = !enabled }
+}
+
 // FrameAnalysis is everything the vision front end derives from a frame.
+//
+// Ownership: with the frame arena enabled (the default), Silhouette,
+// Skeleton, Graph and the slices reachable from them live in per-System
+// reusable storage and are valid only until the NEXT Analyze*/Classify*/
+// Train* call on the same System (or on the Engine worker that produced
+// them). Copy what must outlive the next frame, or build the System with
+// WithFrameScratch(false). KeyPoints and Encoding are self-contained
+// values and always safe to retain.
 type FrameAnalysis struct {
 	// Silhouette is the extracted (or ground-truth) figure mask.
 	Silhouette *imaging.Binary
@@ -191,6 +213,51 @@ type System struct {
 	opts       Options
 	extractor  *extract.Extractor
 	classifier *dbn.Classifier
+
+	// scratch is the per-System frame arena (nil when disabled). A System
+	// analyses one frame at a time — the Engine pools whole Systems — so
+	// a single arena per System is race-free by construction.
+	scratch *frameScratch
+}
+
+// frameScratch bundles the per-worker arenas of the frame hot path:
+// the skeleton-graph arena, the key-point arena, the reused skeleton
+// rasterisation image, and the previous frame's extractor-owned
+// silhouette awaiting return to the imaging pool.
+type frameScratch struct {
+	graph    *skelgraph.Scratch
+	kp       *keypoint.Scratch
+	skeleton *imaging.Binary
+	prevSil  *imaging.Binary
+}
+
+// newFrameScratch acquires the arenas. They stay with the System for its
+// lifetime; a System has no Close, so they are recycled by the GC rather
+// than returned to the arena pools.
+func newFrameScratch() *frameScratch {
+	//slj:pool-escapes the arenas live for the owning System's lifetime
+	return &frameScratch{graph: skelgraph.GetScratch(), kp: keypoint.GetScratch()}
+}
+
+// skeletonInto returns the reused w×h rasterisation target, zeroed.
+func (fs *frameScratch) skeletonInto(w, h int) *imaging.Binary {
+	if fs.skeleton == nil {
+		fs.skeleton = imaging.NewBinary(w, h)
+	} else {
+		fs.skeleton.Reset(w, h)
+	}
+	return fs.skeleton
+}
+
+// retire returns the previous frame's extractor-produced silhouette to
+// the imaging pool and records sil as the new outstanding one. Only
+// extractor-owned silhouettes may pass through here — never dataset-owned
+// ground-truth masks.
+func (fs *frameScratch) retire(sil *imaging.Binary) {
+	if fs.prevSil != nil {
+		imaging.PutBinary(fs.prevSil)
+	}
+	fs.prevSil = sil
 }
 
 // NewSystem builds a system with the paper's defaults, modified by opts.
@@ -227,7 +294,11 @@ func NewSystem(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("slj: %w", err)
 	}
-	return &System{opts: o, extractor: ex, classifier: clf}, nil
+	sys := &System{opts: o, extractor: ex, classifier: clf}
+	if !o.DisableFrameScratch {
+		sys.scratch = newFrameScratch()
+	}
+	return sys, nil
 }
 
 // Classifier exposes the underlying DBN bank (read-only use).
@@ -260,7 +331,13 @@ func (s *System) AnalyzeSilhouette(sil *imaging.Binary) FrameAnalysis {
 	sp.End()
 	sc.ThinPasses(passes)
 	sp = sc.Start(obs.StageGraph)
-	g, err := skelgraph.Build(skel)
+	var g *skelgraph.Graph
+	var err error
+	if s.scratch != nil {
+		g, err = skelgraph.BuildScratch(skel, s.scratch.graph)
+	} else {
+		g, err = skelgraph.Build(skel)
+	}
 	if err != nil {
 		sp.End()
 		sc.GraphFail()
@@ -272,9 +349,18 @@ func (s *System) AnalyzeSilhouette(sil *imaging.Binary) FrameAnalysis {
 	sp.End()
 	sc.GraphStats(g.Stats.LoopsCut, g.Stats.JunctionsRemoved)
 	fa.Graph = g
-	fa.Skeleton = g.ToBinary()
+	if s.scratch != nil {
+		fa.Skeleton = g.ToBinaryInto(s.scratch.skeletonInto(g.W, g.H))
+	} else {
+		fa.Skeleton = g.ToBinary()
+	}
 	sp = sc.Start(obs.StageKeyPoint)
-	kp, err := keypoint.FromGraph(g)
+	var kp keypoint.KeyPoints
+	if s.scratch != nil {
+		kp, err = keypoint.FromGraphScratch(g, s.scratch.kp)
+	} else {
+		kp, err = keypoint.FromGraph(g)
+	}
 	if err != nil {
 		sp.End()
 		sc.KeyPointMiss(errors.Is(err, keypoint.ErrDegenerate), errors.Is(err, keypoint.ErrNoTorso))
@@ -352,6 +438,12 @@ func (s *System) AnalyzeFrame(frame *imaging.RGB) (FrameAnalysis, error) {
 	if err != nil {
 		return FrameAnalysis{}, fmt.Errorf("slj: %w", err)
 	}
+	if s.scratch != nil {
+		// The silhouette must stay valid past the return (it is the
+		// FrameAnalysis product), so it goes back to the pool one frame
+		// later, when the next AnalyzeFrame supersedes it.
+		s.scratch.retire(sil)
+	}
 	return s.AnalyzeSilhouette(sil), nil
 }
 
@@ -363,14 +455,28 @@ func (s *System) analyzeClip(lc dataset.LabeledClip) ([]FrameAnalysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Silhouettes produced by the extractor ride the imaging pool; with the
+	// arena enabled they are returned once the clip's analyses are done.
+	// Ground-truth silhouettes are dataset-owned and must never be Put —
+	// but a FlipH copy is ours regardless of where its source came from.
+	owned := s.scratch != nil && !s.opts.UseGroundTruthSilhouettes
 	if s.opts.AutoOrient && jumpGoesLeft(sils) {
 		for i, sil := range sils {
 			sils[i] = sil.FlipH()
+			if owned {
+				imaging.PutBinary(sil)
+			}
 		}
+		owned = s.scratch != nil
 	}
 	out := make([]FrameAnalysis, 0, len(sils))
 	for _, sil := range sils {
 		out = append(out, s.AnalyzeSilhouette(sil))
+	}
+	if owned {
+		for _, sil := range sils {
+			imaging.PutBinary(sil)
+		}
 	}
 	return out, nil
 }
@@ -718,8 +824,10 @@ func RenderAnalysis(frame *imaging.RGB, fa FrameAnalysis) *imaging.RGB {
 		}
 	}
 	if fa.KeyPointsOK {
-		for _, pos := range fa.KeyPoints.Pos {
-			cross(pos, 230, 60, 60)
+		for _, part := range keypoint.Parts() {
+			if pos, ok := fa.KeyPoints.At(part); ok {
+				cross(pos, 230, 60, 60)
+			}
 		}
 		cross(fa.KeyPoints.Waist, 70, 90, 230)
 	}

@@ -5,14 +5,23 @@
 // ok) are skipped. Used by `make bench-json`, which snapshots the suite
 // into a dated BENCH_<date>.json file.
 //
+// With -compare it additionally acts as a regression gate: the parsed
+// results are checked against a committed baseline snapshot and the
+// process exits non-zero if any benchmark regressed beyond the allowed
+// thresholds. Allocations are gated tightly (they are deterministic on a
+// given toolchain); wall time is gated loosely because CI machines vary.
+//
 // Usage:
 //
 //	go test -bench . -benchmem -run '^$' ./... | benchjson > BENCH_2026-08-06.json
+//	go test -bench . -benchmem -run '^$' . | benchjson -compare BENCH_baseline.json \
+//	    -max-allocs-regress 10 -allocs-slack 2 -max-ns-regress 500 > BENCH_gate.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -73,9 +82,83 @@ func parseLine(line string) (result, bool) {
 	return r, true
 }
 
+// baseName strips the -<GOMAXPROCS> suffix go test appends to benchmark
+// names ("BenchmarkStageThinning-8" -> "BenchmarkStageThinning") so a
+// baseline recorded on an 8-core machine compares against any runner.
+func baseName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// compare checks cur against the baseline and returns the number of
+// regressions, logging one line per comparison outcome to stderr.
+//
+// Allocations regress when cur > base*(1+allocsPct/100) + allocsSlack:
+// the relative term scales with alloc-heavy benchmarks, the absolute
+// slack keeps zero-alloc baselines from tripping on toolchain or
+// sync.Pool jitter. Wall time regresses when cur > base*(1+nsPct/100).
+// A negative percentage disables that dimension. Benchmarks new since
+// the baseline pass with a note; baseline entries missing from the run
+// are warned about but do not fail the gate (the run may be filtered).
+func compare(baseline, cur []result, allocsPct, nsPct float64, allocsSlack int64) int {
+	base := make(map[string]result, len(baseline))
+	for _, r := range baseline {
+		base[baseName(r.Name)] = r
+	}
+	seen := make(map[string]bool, len(cur))
+	regressions := 0
+	for _, r := range cur {
+		name := baseName(r.Name)
+		seen[name] = true
+		b, ok := base[name]
+		if !ok {
+			log.Printf("NEW   %s: no baseline entry (allocs/op %d, ns/op %.0f)", name, r.AllocsPerOp, r.NsPerOp)
+			continue
+		}
+		if allocsPct >= 0 {
+			limit := int64(float64(b.AllocsPerOp)*(1+allocsPct/100)) + allocsSlack
+			if r.AllocsPerOp > limit {
+				log.Printf("FAIL  %s: allocs/op %d > limit %d (baseline %d, +%.0f%% +%d slack)",
+					name, r.AllocsPerOp, limit, b.AllocsPerOp, allocsPct, allocsSlack)
+				regressions++
+				continue
+			}
+		}
+		if nsPct >= 0 && b.NsPerOp > 0 {
+			limit := b.NsPerOp * (1 + nsPct/100)
+			if r.NsPerOp > limit {
+				log.Printf("FAIL  %s: ns/op %.0f > limit %.0f (baseline %.0f, +%.0f%%)",
+					name, r.NsPerOp, limit, b.NsPerOp, nsPct)
+				regressions++
+				continue
+			}
+		}
+		log.Printf("ok    %s: allocs/op %d (baseline %d), ns/op %.0f (baseline %.0f)",
+			name, r.AllocsPerOp, b.AllocsPerOp, r.NsPerOp, b.NsPerOp)
+	}
+	for _, r := range baseline {
+		if name := baseName(r.Name); !seen[name] {
+			log.Printf("GONE  %s: in baseline but not in this run (renamed or filtered out?)", name)
+		}
+	}
+	return regressions
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
+
+	comparePath := flag.String("compare", "", "baseline JSON snapshot to gate against; exit 1 on regression")
+	allocsPct := flag.Float64("max-allocs-regress", 10, "allowed allocs/op increase in percent (with -compare); negative disables")
+	nsPct := flag.Float64("max-ns-regress", 500, "allowed ns/op increase in percent (with -compare); negative disables")
+	allocsSlack := flag.Int64("allocs-slack", 2, "absolute allocs/op increase always allowed (with -compare)")
+	flag.Parse()
 
 	var results []result
 	sc := bufio.NewScanner(os.Stdin)
@@ -97,4 +180,19 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(results))
+
+	if *comparePath != "" {
+		data, err := os.ReadFile(*comparePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var baseline []result
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			log.Fatalf("parsing baseline %s: %v", *comparePath, err)
+		}
+		if n := compare(baseline, results, *allocsPct, *nsPct, *allocsSlack); n > 0 {
+			log.Fatalf("%d benchmark(s) regressed beyond the gate (baseline %s)", n, *comparePath)
+		}
+		log.Printf("gate passed against %s", *comparePath)
+	}
 }

@@ -1,0 +1,74 @@
+package main
+
+import "testing"
+
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkStageThinning-8":    "BenchmarkStageThinning",
+		"BenchmarkStageThinning-128":  "BenchmarkStageThinning",
+		"BenchmarkStageThinning":      "BenchmarkStageThinning",
+		"BenchmarkFig5-Ablation":      "BenchmarkFig5-Ablation",
+		"BenchmarkEvaluate/workers-4": "BenchmarkEvaluate/workers",
+	}
+	for in, want := range cases {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	baseline := []result{
+		{Name: "BenchmarkA-8", AllocsPerOp: 0, NsPerOp: 1000},
+		{Name: "BenchmarkB-8", AllocsPerOp: 100, NsPerOp: 2000},
+	}
+	cases := []struct {
+		name string
+		cur  []result
+		want int
+	}{
+		{"identical", []result{
+			{Name: "BenchmarkA-4", AllocsPerOp: 0, NsPerOp: 1000},
+			{Name: "BenchmarkB-4", AllocsPerOp: 100, NsPerOp: 2000},
+		}, 0},
+		{"within slack", []result{
+			{Name: "BenchmarkA-4", AllocsPerOp: 2, NsPerOp: 1000},
+			{Name: "BenchmarkB-4", AllocsPerOp: 110, NsPerOp: 2000},
+		}, 0},
+		{"allocs regressed from zero", []result{
+			{Name: "BenchmarkA-4", AllocsPerOp: 3, NsPerOp: 1000},
+		}, 1},
+		{"allocs regressed beyond pct+slack", []result{
+			{Name: "BenchmarkB-4", AllocsPerOp: 113, NsPerOp: 2000},
+		}, 1},
+		{"ns regressed", []result{
+			{Name: "BenchmarkA-4", AllocsPerOp: 0, NsPerOp: 6100},
+		}, 1},
+		{"ns within loose gate", []result{
+			{Name: "BenchmarkA-4", AllocsPerOp: 0, NsPerOp: 5900},
+		}, 0},
+		{"new benchmark passes", []result{
+			{Name: "BenchmarkA-4", AllocsPerOp: 0, NsPerOp: 1000},
+			{Name: "BenchmarkC-4", AllocsPerOp: 999, NsPerOp: 9999},
+		}, 0},
+		{"both dimensions regress on separate benchmarks", []result{
+			{Name: "BenchmarkA-4", AllocsPerOp: 50, NsPerOp: 1000},
+			{Name: "BenchmarkB-4", AllocsPerOp: 100, NsPerOp: 99999},
+		}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := compare(baseline, tc.cur, 10, 500, 2); got != tc.want {
+				t.Errorf("compare() = %d regressions, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompareDisabledDimensions(t *testing.T) {
+	baseline := []result{{Name: "BenchmarkA", AllocsPerOp: 1, NsPerOp: 100}}
+	cur := []result{{Name: "BenchmarkA", AllocsPerOp: 500, NsPerOp: 100000}}
+	if got := compare(baseline, cur, -1, -1, 0); got != 0 {
+		t.Errorf("compare with both gates disabled = %d regressions, want 0", got)
+	}
+}

@@ -91,7 +91,11 @@ func (s *System) clone() (*System, error) {
 		return nil, fmt.Errorf("slj: %w", err)
 	}
 	ex.SetScope(s.opts.Scope)
-	return &System{opts: s.opts, extractor: ex, classifier: s.classifier}, nil
+	c := &System{opts: s.opts, extractor: ex, classifier: s.classifier}
+	if s.scratch != nil {
+		c.scratch = newFrameScratch()
+	}
+	return c, nil
 }
 
 // Workers reports the resolved worker count.
@@ -412,6 +416,15 @@ func (s *System) classifyClipPipelined(lc dataset.LabeledClip) ([]dbn.Result, er
 	encs := make([]keypoint.Encoding, len(out))
 	for i, t := range out {
 		encs[i] = t.fa.Encoding
+	}
+	if s.scratch != nil && !s.opts.UseGroundTruthSilhouettes {
+		// All stages have joined and the encodings are copied out, so the
+		// extractor-produced silhouettes can go back to the imaging pool.
+		for _, t := range out {
+			if t.sil != nil {
+				imaging.PutBinary(t.sil)
+			}
+		}
 	}
 	res, err := s.classifier.ClassifySequenceScoped(encs, s.opts.Scope)
 	if err != nil {

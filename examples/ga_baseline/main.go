@@ -55,8 +55,8 @@ func main() {
 
 	fmt.Printf("%-6s %-14s %-14s\n", "part", "GA", "thinning")
 	for _, part := range keypoint.Parts() {
-		a, aok := kpGA.Pos[part]
-		b, bok := kpThin.Pos[part]
+		a, aok := kpGA.At(part)
+		b, bok := kpThin.At(part)
 		as, bs := "-", "-"
 		if aok {
 			as = a.String()

@@ -48,7 +48,7 @@ func main() {
 	}
 	fmt.Printf("--- key points (Figure 6 encoding, waist at %v) ---\n", kp.Waist)
 	for _, part := range keypoint.Parts() {
-		if pos, ok := kp.Pos[part]; ok {
+		if pos, ok := kp.At(part); ok {
 			fmt.Printf("  %-6v at %-9v area %d\n", part, pos, enc.Area[int(part)-1])
 		} else {
 			fmt.Printf("  %-6v not found (area 0)\n", part)

@@ -1,7 +1,9 @@
-// Package pooldiscipline checks that every image buffer obtained from the
-// imaging sync.Pool helpers (GetBinary/GetGray/GetRGB) is returned with
-// the matching Put* on some path through the same function, and that a
-// buffer is never touched again after it has been Put.
+// Package pooldiscipline checks that every pooled object obtained from a
+// recognised sync.Pool Get helper — the imaging image pools
+// (GetBinary/GetGray/GetRGB) and the frame-arena pools
+// (skelgraph.GetScratch, keypoint.GetScratch) — is returned with the
+// matching Put* on some path through the same function, and that a
+// pooled object is never touched again after it has been Put.
 //
 // The check is intraprocedural and deliberately conservative:
 //
@@ -35,24 +37,37 @@ import (
 // Annotation is the suppression annotation honoured by this analyzer.
 const Annotation = "pool-escapes"
 
-// Analyzer flags imaging pool buffers that leak, escape unannotated, or
-// are used after release.
+// Analyzer flags pooled buffers and arenas that leak, escape
+// unannotated, or are used after release.
 var Analyzer = &analysis.Analyzer{
 	Name: "pooldiscipline",
-	Doc:  "check imaging.Get*/Put* pairing and use-after-Put on pooled image buffers",
+	Doc:  "check Get*/Put* pairing and use-after-Put on pooled image buffers and frame arenas",
 	Run:  run,
 }
 
-// poolFunc classifies a call as a pool Get or Put. It matches functions
-// named Get{Binary,Gray,RGB} / Put{Binary,Gray,RGB} exported from a
-// package named "imaging", so the analyzer works against both the real
-// repro/internal/imaging package and test fixtures.
-func poolFunc(pass *analysis.Pass, call *ast.CallExpr) (name string, isGet bool, ok bool) {
+// poolPairs lists the recognised Get*/Put* pairs, keyed by defining
+// package name, then by the suffix shared by the Get and the Put. The
+// analyzer matches by name rather than import path so it works against
+// both the real packages and test fixtures.
+var poolPairs = map[string]map[string]bool{
+	"imaging":   {"Binary": true, "Gray": true, "RGB": true},
+	"skelgraph": {"Scratch": true},
+	"keypoint":  {"Scratch": true},
+}
+
+// poolFunc classifies a call as a recognised pool/arena Get or Put and
+// returns the package-qualified callee name (e.g. "imaging.GetBinary",
+// "skelgraph.PutScratch").
+func poolFunc(pass *analysis.Pass, call *ast.CallExpr) (qual string, isGet bool, ok bool) {
 	fn := pass.CalleeFunc(call)
-	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "imaging" {
+	if fn == nil || fn.Pkg() == nil {
 		return "", false, false
 	}
-	name = fn.Name()
+	suffixes := poolPairs[fn.Pkg().Name()]
+	if suffixes == nil {
+		return "", false, false
+	}
+	name := fn.Name()
 	var rest string
 	var get bool
 	switch {
@@ -63,11 +78,10 @@ func poolFunc(pass *analysis.Pass, call *ast.CallExpr) (name string, isGet bool,
 	default:
 		return "", false, false
 	}
-	switch rest {
-	case "Binary", "Gray", "RGB":
-		return name, get, true
+	if !suffixes[rest] {
+		return "", false, false
 	}
-	return "", false, false
+	return fn.Pkg().Name() + "." + name, get, true
 }
 
 func run(pass *analysis.Pass) error {
@@ -133,24 +147,24 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 				checkTracked(pass, body, call, getName, obj, puts[obj])
 				return true
 			}
-			pass.Reportf(call.Pos(), "pooled buffer from imaging.%s is stored somewhere this check cannot follow; annotate //slj:pool-escapes if ownership is transferred", getName)
+			pass.Reportf(call.Pos(), "pooled buffer from %s is stored somewhere this check cannot follow; annotate //slj:pool-escapes if ownership is transferred", getName)
 		case *ast.ValueSpec:
 			if obj := specTarget(pass, p, call); obj != nil {
 				checkTracked(pass, body, call, getName, obj, puts[obj])
 				return true
 			}
-			pass.Reportf(call.Pos(), "pooled buffer from imaging.%s is never returned to the pool", getName)
+			pass.Reportf(call.Pos(), "pooled buffer from %s is never returned to the pool", getName)
 		case *ast.CallExpr:
 			if _, _, isPool := poolFunc(pass, p); isPool {
 				return true // Get fed straight into a Put: pointless but not a leak
 			}
-			pass.Reportf(call.Pos(), "pooled buffer from imaging.%s is passed straight to %s, transferring ownership; annotate //slj:pool-escapes if intended", getName, callLabel(pass, p))
+			pass.Reportf(call.Pos(), "pooled buffer from %s is passed straight to %s, transferring ownership; annotate //slj:pool-escapes if intended", getName, callLabel(pass, p))
 		case *ast.ReturnStmt:
-			pass.Reportf(call.Pos(), "pooled buffer from imaging.%s escapes via return; annotate //slj:pool-escapes if the caller takes ownership", getName)
+			pass.Reportf(call.Pos(), "pooled buffer from %s escapes via return; annotate //slj:pool-escapes if the caller takes ownership", getName)
 		case *ast.ExprStmt:
-			pass.Reportf(call.Pos(), "result of imaging.%s is discarded — the pooled buffer leaks", getName)
+			pass.Reportf(call.Pos(), "result of %s is discarded — the pooled buffer leaks", getName)
 		default:
-			pass.Reportf(call.Pos(), "pooled buffer from imaging.%s escapes through %T; annotate //slj:pool-escapes if ownership is transferred", getName, parent)
+			pass.Reportf(call.Pos(), "pooled buffer from %s escapes through %T; annotate //slj:pool-escapes if ownership is transferred", getName, parent)
 		}
 		return true
 	})
@@ -200,12 +214,12 @@ func checkTracked(pass *analysis.Pass, body *ast.BlockStmt, call *ast.CallExpr, 
 	if len(sites) > 0 {
 		return // released somewhere; pass 3 handles use-after-Put
 	}
-	putName := "Put" + strings.TrimPrefix(getName, "Get")
+	putName := strings.Replace(getName, ".Get", ".Put", 1)
 	if escapes(pass, body, obj) {
-		pass.Reportf(call.Pos(), "pooled buffer %s from imaging.%s escapes this function without a Put; annotate //slj:pool-escapes if the new owner keeps it", obj.Name(), getName)
+		pass.Reportf(call.Pos(), "pooled buffer %s from %s escapes this function without a Put; annotate //slj:pool-escapes if the new owner keeps it", obj.Name(), getName)
 		return
 	}
-	pass.Reportf(call.Pos(), "pooled buffer %s from imaging.%s is never returned to the pool; call imaging.%s on every path or annotate //slj:pool-escapes", obj.Name(), getName, putName)
+	pass.Reportf(call.Pos(), "pooled buffer %s from %s is never returned to the pool; call %s on every path or annotate //slj:pool-escapes", obj.Name(), getName, putName)
 }
 
 // escapes reports whether obj is returned, stored into non-local

@@ -9,3 +9,7 @@ import (
 func TestPoolDiscipline(t *testing.T) {
 	atest.Run(t, "testdata", "pool", Analyzer)
 }
+
+func TestPoolDisciplineArena(t *testing.T) {
+	atest.Run(t, "testdata", "arena", Analyzer)
+}

@@ -1,0 +1,82 @@
+// Package arena is the pooldiscipline fixture for the frame-arena
+// Get/Put pairs (skelgraph.GetScratch / keypoint.GetScratch): the same
+// leak, use-after-Put, escape and annotation cases as the imaging
+// fixture, but through the arena pools.
+package arena
+
+import (
+	"keypoint"
+	"skelgraph"
+)
+
+func analyze(sc *skelgraph.Scratch) {}
+
+// --- true positives -------------------------------------------------
+
+func leak() {
+	sc := skelgraph.GetScratch() // want "never returned to the pool; call skelgraph.PutScratch"
+	analyze(sc)
+}
+
+func leakEscapesReturn() *skelgraph.Scratch {
+	sc := skelgraph.GetScratch() // want "escapes this function without a Put"
+	return sc
+}
+
+func leakDirectReturn() *keypoint.Scratch {
+	return keypoint.GetScratch() // want "escapes via return"
+}
+
+func leakHandoff() {
+	analyze(skelgraph.GetScratch()) // want "passed straight to analyze"
+}
+
+func leakDiscard() {
+	keypoint.GetScratch() // want "result of keypoint.GetScratch is discarded"
+}
+
+func useAfterPut() int {
+	sc := skelgraph.GetScratch()
+	skelgraph.PutScratch(sc)
+	return len(sc.Buf) // want "used after being returned to the pool"
+}
+
+func doublePut() {
+	kp := keypoint.GetScratch()
+	keypoint.PutScratch(kp)
+	keypoint.PutScratch(kp) // want "used after being returned to the pool"
+}
+
+// --- clean ----------------------------------------------------------
+
+func cleanPair() {
+	sc := skelgraph.GetScratch()
+	analyze(sc)
+	skelgraph.PutScratch(sc)
+}
+
+func cleanDeferredPair() {
+	kp := keypoint.GetScratch()
+	defer keypoint.PutScratch(kp)
+	_ = kp
+}
+
+func cleanMixedPools() {
+	g := skelgraph.GetScratch()
+	k := keypoint.GetScratch()
+	analyze(g)
+	skelgraph.PutScratch(g)
+	keypoint.PutScratch(k)
+}
+
+// --- annotated ------------------------------------------------------
+
+type worker struct {
+	graph *skelgraph.Scratch
+	kp    *keypoint.Scratch
+}
+
+func newWorker() *worker {
+	//slj:pool-escapes the arenas live for the worker's lifetime
+	return &worker{graph: skelgraph.GetScratch(), kp: keypoint.GetScratch()}
+}

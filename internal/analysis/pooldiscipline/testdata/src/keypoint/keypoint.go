@@ -1,0 +1,9 @@
+// Package keypoint is a fixture stub mirroring the frame-arena API of
+// repro/internal/keypoint; the pooldiscipline analyzer matches arena
+// helpers by package name and function name.
+package keypoint
+
+type Scratch struct{ ends []int }
+
+func GetScratch() *Scratch  { return &Scratch{} }
+func PutScratch(s *Scratch) {}

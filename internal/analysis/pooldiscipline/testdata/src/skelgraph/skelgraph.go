@@ -1,0 +1,9 @@
+// Package skelgraph is a fixture stub mirroring the frame-arena API of
+// repro/internal/skelgraph; the pooldiscipline analyzer matches arena
+// helpers by package name and function name.
+package skelgraph
+
+type Scratch struct{ Buf []int }
+
+func GetScratch() *Scratch  { return &Scratch{} }
+func PutScratch(s *Scratch) {}

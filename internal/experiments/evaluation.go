@@ -440,7 +440,7 @@ func GABaseline(cfg Config) (GABaselineResult, error) {
 	thinTime := time.Since(t1)
 
 	kpGA := fit.KeyPoints(pose.DefaultProportions())
-	dh := kpGA.Pos[keypoint.PartHead].Sub(kpThin.Pos[keypoint.PartHead])
+	dh := kpGA.Loc(keypoint.PartHead).Sub(kpThin.Loc(keypoint.PartHead))
 	res := GABaselineResult{
 		GAFitness:       fit.Fitness,
 		GAEvaluations:   fit.Evaluations,

@@ -93,10 +93,11 @@ type Extractor struct {
 
 	// Scratch reused across frames so steady-state extraction allocates
 	// only its final silhouette.
-	aAve *imaging.RGB // step-ii moving average of the input frame
-	sat  []int64      // summed-area tables backing aAve
-	crop *imaging.RGB // ROI crop (ExtractInROI only)
-	d    []int        // steps iii–iv absolute-difference sums
+	aAve *imaging.RGB            // step-ii moving average of the input frame
+	sat  []int64                 // summed-area tables backing aAve
+	crop *imaging.RGB            // ROI crop (ExtractInROI only)
+	d    []int                   // steps iii–iv absolute-difference sums
+	comp imaging.ComponentScratch // largest-component labelling state (Smooth)
 
 	// sc times the detect/smooth stages; nil disables.
 	sc *obs.Scope
@@ -394,7 +395,8 @@ func (e *Extractor) Smooth(raw *imaging.Binary) *imaging.Binary {
 		step(imaging.FillHoles(cur, imaging.Connect8))
 	}
 	if e.opts.KeepLargestOnly {
-		step(imaging.LargestComponent(cur, imaging.Connect8))
+		//slj:pool-escapes LargestComponentInto returns its dst; a later step (or the caller) Puts it
+		step(imaging.LargestComponentInto(imaging.GetBinary(cur.W, cur.H), cur, imaging.Connect8, &e.comp))
 	}
 	return cur
 }

@@ -122,16 +122,16 @@ func TestKeyPointsFromFit(t *testing.T) {
 		t.Fatal(err)
 	}
 	kp := res.KeyPoints(pose.DefaultProportions())
-	if len(kp.Pos) != keypoint.NumParts {
-		t.Fatalf("key points = %d, want %d", len(kp.Pos), keypoint.NumParts)
+	if kp.Count() != keypoint.NumParts {
+		t.Fatalf("key points = %d, want %d", kp.Count(), keypoint.NumParts)
 	}
 	// Head must be up, foot down, mirroring the true skeleton.
-	if kp.Pos[keypoint.PartHead].Y >= kp.Pos[keypoint.PartFoot].Y {
+	if kp.Loc(keypoint.PartHead).Y >= kp.Loc(keypoint.PartFoot).Y {
 		t.Error("fitted head below fitted foot")
 	}
 	trueHead := truth.Head.Round()
-	if d := float64(abs(kp.Pos[keypoint.PartHead].X-trueHead.X) + abs(kp.Pos[keypoint.PartHead].Y-trueHead.Y)); d > 40 {
-		t.Errorf("fitted head %v far from truth %v", kp.Pos[keypoint.PartHead], trueHead)
+	if d := float64(abs(kp.Loc(keypoint.PartHead).X-trueHead.X) + abs(kp.Loc(keypoint.PartHead).Y-trueHead.Y)); d > 40 {
+		t.Errorf("fitted head %v far from truth %v", kp.Loc(keypoint.PartHead), trueHead)
 	}
 }
 

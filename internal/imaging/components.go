@@ -43,15 +43,56 @@ type Component struct {
 	Seed Point
 }
 
+// ComponentScratch carries the labelling state of Components between
+// calls so the per-frame hot path (extract.Smooth's largest-component
+// isolation) can relabel every frame without allocating. The zero value
+// is ready to use; a nil *ComponentScratch falls back to fresh
+// allocations. Not safe for concurrent use — callers own one per worker,
+// exactly like extract.Extractor's other scratch buffers.
+type ComponentScratch struct {
+	labels []int32
+	comps  []Component
+	stack  []Point
+}
+
+// grabLabels returns the scratch label map resized to n zeroed entries.
+func (s *ComponentScratch) grabLabels(n int) []int32 {
+	if s == nil {
+		return make([]int32, n)
+	}
+	if cap(s.labels) < n {
+		s.labels = make([]int32, n)
+	}
+	s.labels = s.labels[:n]
+	clear(s.labels)
+	return s.labels
+}
+
 // Components labels the foreground regions of b under the given
 // connectivity. It returns the label map (0 = background, 1.. = region
 // labels, row-major, same size as b) and per-region metadata ordered by
-// label.
+// label. The returned slices are freshly allocated and owned by the
+// caller; the hot path uses ComponentsInto instead.
 func Components(b *Binary, conn Connectivity) ([]int32, []Component) {
-	labels := make([]int32, len(b.Pix))
+	return componentsInto(nil, b, conn)
+}
+
+// ComponentsInto is Components backed by reusable scratch: the label map
+// and component list alias sc's buffers and are valid only until the next
+// call on the same scratch.
+func (sc *ComponentScratch) ComponentsInto(b *Binary, conn Connectivity) ([]int32, []Component) {
+	return componentsInto(sc, b, conn)
+}
+
+func componentsInto(sc *ComponentScratch, b *Binary, conn Connectivity) ([]int32, []Component) {
+	labels := sc.grabLabels(len(b.Pix))
 	var comps []Component
-	offs := conn.offsets()
 	var stack []Point
+	if sc != nil {
+		comps = sc.comps[:0]
+		stack = sc.stack[:0]
+	}
+	offs := conn.offsets()
 	next := int32(0)
 	for y := 0; y < b.H; y++ {
 		for x := 0; x < b.W; x++ {
@@ -87,6 +128,12 @@ func Components(b *Binary, conn Connectivity) ([]int32, []Component) {
 			comps = append(comps, comp)
 		}
 	}
+	if sc != nil {
+		// The buffers may have been regrown by append; keep the larger
+		// backing arrays for the next frame.
+		sc.comps = comps
+		sc.stack = stack
+	}
 	return labels, comps
 }
 
@@ -95,10 +142,17 @@ func Components(b *Binary, conn Connectivity) ([]int32, []Component) {
 // extraction stage uses it to isolate the jumper from residual background
 // speckle. Returns an all-background image when b has no foreground.
 func LargestComponent(b *Binary, conn Connectivity) *Binary {
-	labels, comps := Components(b, conn)
-	out := NewBinary(b.W, b.H)
+	return LargestComponentInto(NewBinary(b.W, b.H), b, conn, nil)
+}
+
+// LargestComponentInto writes b's largest foreground region into dst,
+// which must be a zeroed image of b's size (NewBinary or GetBinary
+// provide one), and returns dst. sc (optionally nil) supplies reusable
+// labelling scratch so the steady-state call allocates nothing.
+func LargestComponentInto(dst, b *Binary, conn Connectivity, sc *ComponentScratch) *Binary {
+	labels, comps := componentsInto(sc, b, conn)
 	if len(comps) == 0 {
-		return out
+		return dst
 	}
 	best := comps[0]
 	for _, c := range comps[1:] {
@@ -109,10 +163,10 @@ func LargestComponent(b *Binary, conn Connectivity) *Binary {
 	want := int32(best.Label)
 	for i, l := range labels {
 		if l == want {
-			out.Pix[i] = 1
+			dst.Pix[i] = 1
 		}
 	}
-	return out
+	return dst
 }
 
 // FillHoles fills background regions not connected to the image border,

@@ -238,6 +238,24 @@ func NewBinary(w, h int) *Binary {
 	return &Binary{W: w, H: h, Pix: make([]uint8, w*h)}
 }
 
+// Reset resizes b to a zeroed w×h image, reusing the backing pixel
+// slice when its capacity suffices. It is the scratch-buffer idiom of
+// the per-frame arenas: the same image object is re-aimed at each frame
+// without going through the allocator.
+func (b *Binary) Reset(w, h int) {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imaging.(*Binary).Reset: bad dimensions %dx%d", w, h))
+	}
+	b.W, b.H = w, h
+	n := w * h
+	if cap(b.Pix) < n {
+		b.Pix = make([]uint8, n)
+		return
+	}
+	b.Pix = b.Pix[:n]
+	clear(b.Pix)
+}
+
 // At returns the pixel at (x, y): 0 or 1.
 func (b *Binary) At(x, y int) uint8 { return b.Pix[y*b.W+x] }
 

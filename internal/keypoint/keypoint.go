@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/imaging"
 	"repro/internal/pose"
@@ -82,20 +83,58 @@ func (p Part) String() string {
 	}
 }
 
-// Parts lists the five parts in canonical order.
+// partsOrder is the canonical part order as a package-level array so hot
+// paths can range over it without the allocation Parts() pays for its
+// fresh slice.
+var partsOrder = [NumParts]Part{PartHead, PartChest, PartHand, PartKnee, PartFoot}
+
+// Parts lists the five parts in canonical order. The slice is freshly
+// allocated; callers may modify it.
 func Parts() []Part { return []Part{PartHead, PartChest, PartHand, PartKnee, PartFoot} }
 
-// KeyPoints holds the located key points plus the waist origin.
+// KeyPoints holds the located key points plus the waist origin. Part
+// locations are stored in fixed arrays indexed by Part (it replaced a
+// per-frame map allocation); read them with At/Loc/Has and write them
+// with Set.
 type KeyPoints struct {
 	// Waist is the encoding origin (middle of the torso path).
 	Waist imaging.Point
-	// Pos maps each part to its pixel location. A part may be absent
-	// (e.g. Hand when the arms overlap the body); absent parts encode
-	// as area 0.
-	Pos map[Part]imaging.Point
 	// TorsoLen is the pixel length of the head-to-foot path, a scale
 	// reference for protrusion thresholds and tests.
 	TorsoLen int
+
+	pos [NumParts]imaging.Point
+	has [NumParts]bool
+}
+
+// Set records part's pixel location.
+func (kp *KeyPoints) Set(part Part, p imaging.Point) {
+	kp.pos[part-1] = p
+	kp.has[part-1] = true
+}
+
+// At returns part's pixel location and whether the part was located. A
+// part may be absent (e.g. Hand when the arms overlap the body); absent
+// parts encode as area 0.
+func (kp KeyPoints) At(part Part) (imaging.Point, bool) {
+	return kp.pos[part-1], kp.has[part-1]
+}
+
+// Loc returns part's pixel location, or the zero point when absent.
+func (kp KeyPoints) Loc(part Part) imaging.Point { return kp.pos[part-1] }
+
+// Has reports whether part was located.
+func (kp KeyPoints) Has(part Part) bool { return kp.has[part-1] }
+
+// Count returns the number of located parts.
+func (kp KeyPoints) Count() int {
+	n := 0
+	for _, ok := range kp.has {
+		if ok {
+			n++
+		}
+	}
+	return n
 }
 
 // HandAbsent reports whether the Hand key point is missing — the arms
@@ -104,23 +143,63 @@ type KeyPoints struct {
 // with body" poses this is expected; a high rate on other poses is the
 // implausible-keypoint signal the pipeline.hand_absent counter tracks.
 func (kp KeyPoints) HandAbsent() bool {
-	_, ok := kp.Pos[PartHand]
-	return !ok
+	return !kp.Has(PartHand)
+}
+
+// Scratch is a per-worker arena for FromGraphScratch: the component
+// membership mask and endpoint list reused between frames. The zero
+// value is ready to use; not safe for concurrent use.
+type Scratch struct {
+	inComp []bool
+	ends   []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch returns a key-point arena from the pool; pair with
+// PutScratch under the usual pool discipline.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns an arena to the pool. The caller must not touch it
+// afterwards. nil is ignored.
+func PutScratch(sc *Scratch) {
+	if sc == nil {
+		return
+	}
+	scratchPool.Put(sc)
 }
 
 // FromGraph locates the key points on a built (and ideally pruned)
 // skeleton graph, using only its largest connected component.
 func FromGraph(g *skelgraph.Graph) (KeyPoints, error) {
-	compNodes := g.LargestComponentNodes()
-	inComp := make(map[int]bool, len(compNodes))
-	for _, n := range compNodes {
-		inComp[n] = true
+	return FromGraphScratch(g, nil)
+}
+
+// FromGraphScratch is FromGraph with its working buffers drawn from a
+// per-worker arena; nil behaves exactly like FromGraph. The returned
+// KeyPoints value is self-contained either way.
+func FromGraphScratch(g *skelgraph.Graph, sc *Scratch) (KeyPoints, error) {
+	// Membership of the largest component as a node-indexed []bool — it
+	// replaced the map[int]bool this step used to allocate per frame.
+	var inComp []bool
+	if sc != nil {
+		inComp = sc.inComp
+	}
+	inComp = g.MarkLargestComponent(inComp)
+	if sc != nil {
+		sc.inComp = inComp
 	}
 	var ends []int
-	for _, e := range g.Endpoints() {
-		if inComp[e] {
+	if sc != nil {
+		ends = sc.ends[:0]
+	}
+	for e := range g.Nodes {
+		if inComp[e] && g.Degree(e) == 1 {
 			ends = append(ends, e)
 		}
+	}
+	if sc != nil {
+		sc.ends = ends
 	}
 	if len(ends) < 2 {
 		return KeyPoints{}, ErrDegenerate
@@ -145,12 +224,11 @@ func FromGraph(g *skelgraph.Graph) (KeyPoints, error) {
 	kp := KeyPoints{
 		Waist:    torso[len(torso)/2],
 		TorsoLen: len(torso),
-		Pos:      make(map[Part]imaging.Point, NumParts),
 	}
-	kp.Pos[PartHead] = g.Nodes[head].P
-	kp.Pos[PartFoot] = g.Nodes[foot].P
-	kp.Pos[PartChest] = torso[len(torso)/4]
-	kp.Pos[PartKnee] = torso[3*len(torso)/4]
+	kp.Set(PartHead, g.Nodes[head].P)
+	kp.Set(PartFoot, g.Nodes[foot].P)
+	kp.Set(PartChest, torso[len(torso)/4])
+	kp.Set(PartKnee, torso[3*len(torso)/4])
 
 	// Hand: the remaining endpoint most distant from the torso path,
 	// if it protrudes enough.
@@ -167,7 +245,7 @@ func FromGraph(g *skelgraph.Graph) (KeyPoints, error) {
 		}
 	}
 	if found {
-		kp.Pos[PartHand] = hand
+		kp.Set(PartHand, hand)
 	}
 	return kp, nil
 }
@@ -181,17 +259,16 @@ func FromSkeleton2D(s pose.Skeleton2D) KeyPoints {
 	if s.Toe.Y > foot.Y {
 		foot = s.Toe
 	}
-	return KeyPoints{
-		Waist: s.Hip.Round(),
-		Pos: map[Part]imaging.Point{
-			PartHead:  s.Head.Round(),
-			PartChest: s.Chest.Round(),
-			PartHand:  s.Hand.Round(),
-			PartKnee:  s.Knee.Round(),
-			PartFoot:  foot.Round(),
-		},
+	kp := KeyPoints{
+		Waist:    s.Hip.Round(),
 		TorsoLen: int(s.Head.Dist(foot)),
 	}
+	kp.Set(PartHead, s.Head.Round())
+	kp.Set(PartChest, s.Chest.Round())
+	kp.Set(PartHand, s.Hand.Round())
+	kp.Set(PartKnee, s.Knee.Round())
+	kp.Set(PartFoot, foot.Round())
+	return kp
 }
 
 func distToPath(p imaging.Point, path []imaging.Point) float64 {
@@ -251,8 +328,8 @@ func EncodeRadial(kp KeyPoints, partitions, rings int) (Encoding, error) {
 		return Encoding{}, fmt.Errorf("keypoint: rings = %d, want >= 0", rings)
 	}
 	enc := Encoding{Partitions: partitions, Rings: rings}
-	for _, part := range Parts() {
-		p, ok := kp.Pos[part]
+	for _, part := range partsOrder {
+		p, ok := kp.At(part)
 		if !ok {
 			continue // area and ring stay 0
 		}

@@ -89,7 +89,7 @@ func TestAreaOfAllDistinct(t *testing.T) {
 }
 
 func TestEncodeValidation(t *testing.T) {
-	kp := KeyPoints{Waist: imaging.Point{X: 0, Y: 0}, Pos: map[Part]imaging.Point{}}
+	kp := KeyPoints{Waist: imaging.Point{X: 0, Y: 0}}
 	for _, bad := range []int{0, 2, 3, 7, 9} {
 		if _, err := Encode(kp, bad); err == nil {
 			t.Errorf("Encode with partitions=%d should fail", bad)
@@ -101,13 +101,9 @@ func TestEncodeValidation(t *testing.T) {
 }
 
 func TestEncodeMissingPartIsZero(t *testing.T) {
-	kp := KeyPoints{
-		Waist: imaging.Point{X: 50, Y: 50},
-		Pos: map[Part]imaging.Point{
-			PartHead: {X: 50, Y: 10},
-			PartFoot: {X: 50, Y: 90},
-		},
-	}
+	kp := KeyPoints{Waist: imaging.Point{X: 50, Y: 50}}
+	kp.Set(PartHead, imaging.Point{X: 50, Y: 10})
+	kp.Set(PartFoot, imaging.Point{X: 50, Y: 90})
 	enc, err := Encode(kp, 8)
 	if err != nil {
 		t.Fatal(err)
@@ -124,14 +120,10 @@ func TestEncodeMissingPartIsZero(t *testing.T) {
 }
 
 func TestEncodingKeyAndOccupied(t *testing.T) {
-	kp := KeyPoints{
-		Waist: imaging.Point{X: 0, Y: 0},
-		Pos: map[Part]imaging.Point{
-			PartHead: {X: 0, Y: -10},
-			PartHand: {X: 10, Y: 0},
-			PartFoot: {X: 0, Y: 10},
-		},
-	}
+	kp := KeyPoints{Waist: imaging.Point{X: 0, Y: 0}}
+	kp.Set(PartHead, imaging.Point{X: 0, Y: -10})
+	kp.Set(PartHand, imaging.Point{X: 10, Y: 0})
+	kp.Set(PartFoot, imaging.Point{X: 0, Y: 10})
 	enc, err := Encode(kp, 8)
 	if err != nil {
 		t.Fatal(err)
@@ -154,19 +146,19 @@ func TestEncodingKeyAndOccupied(t *testing.T) {
 func TestFromSkeleton2DStanding(t *testing.T) {
 	s := pose.Compute(imaging.Pointf{X: 100, Y: 100}, 100, pose.Angles(pose.StandHandsAtSides), pose.DefaultProportions())
 	kp := FromSkeleton2D(s)
-	if len(kp.Pos) != NumParts {
-		t.Fatalf("parts = %d, want %d", len(kp.Pos), NumParts)
+	if kp.Count() != NumParts {
+		t.Fatalf("parts = %d, want %d", kp.Count(), NumParts)
 	}
-	if kp.Pos[PartHead].Y >= kp.Waist.Y {
+	if kp.Loc(PartHead).Y >= kp.Waist.Y {
 		t.Error("head should be above waist")
 	}
-	if kp.Pos[PartFoot].Y <= kp.Waist.Y {
+	if kp.Loc(PartFoot).Y <= kp.Waist.Y {
 		t.Error("foot should be below waist")
 	}
 	// Foot must be the lowest of all parts — the paper's anchor rule.
-	for part, p := range kp.Pos {
-		if p.Y > kp.Pos[PartFoot].Y {
-			t.Errorf("%v at %v is lower than foot %v", part, p, kp.Pos[PartFoot])
+	for _, part := range Parts() {
+		if p := kp.Loc(part); p.Y > kp.Loc(PartFoot).Y {
+			t.Errorf("%v at %v is lower than foot %v", part, p, kp.Loc(PartFoot))
 		}
 	}
 }
@@ -218,16 +210,16 @@ func TestFromGraphStandingFigure(t *testing.T) {
 	}
 	// Head near the model head, foot near the model toe/ankle (within a
 	// generous tolerance: thinning erodes extremities).
-	if d := dist(kp.Pos[PartHead], s.Head.Round()); d > 18 {
-		t.Errorf("extracted head %v too far from model %v (%.1f px)", kp.Pos[PartHead], s.Head.Round(), d)
+	if d := dist(kp.Loc(PartHead), s.Head.Round()); d > 18 {
+		t.Errorf("extracted head %v too far from model %v (%.1f px)", kp.Loc(PartHead), s.Head.Round(), d)
 	}
-	foot := kp.Pos[PartFoot]
+	foot := kp.Loc(PartFoot)
 	if foot.Y < kp.Waist.Y {
 		t.Error("extracted foot above waist")
 	}
 	// The hand must be found for an arms-forward pose and lie forward of
 	// the waist.
-	hand, ok := kp.Pos[PartHand]
+	hand, ok := kp.At(PartHand)
 	if !ok {
 		t.Fatal("hand not found in arms-forward figure")
 	}
@@ -244,7 +236,7 @@ func TestFromGraphHandsAtSidesHasNoHand(t *testing.T) {
 	}
 	// Arms overlap the body: any detected "hand" endpoint must be very
 	// close to the torso, so either no hand or a tiny protrusion.
-	if hand, ok := kp.Pos[PartHand]; ok {
+	if hand, ok := kp.At(PartHand); ok {
 		// Permit a small spur but it must not protrude far forward.
 		if dx := hand.X - kp.Waist.X; dx > 25 {
 			t.Errorf("phantom hand at %v for arms-at-sides pose", hand)
@@ -279,21 +271,21 @@ func TestFromGraphVerticalLine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if kp.Pos[PartHead] != (imaging.Point{X: 5, Y: 5}) {
-		t.Errorf("head = %v", kp.Pos[PartHead])
+	if kp.Loc(PartHead) != (imaging.Point{X: 5, Y: 5}) {
+		t.Errorf("head = %v", kp.Loc(PartHead))
 	}
-	if kp.Pos[PartFoot] != (imaging.Point{X: 5, Y: 54}) {
-		t.Errorf("foot = %v", kp.Pos[PartFoot])
+	if kp.Loc(PartFoot) != (imaging.Point{X: 5, Y: 54}) {
+		t.Errorf("foot = %v", kp.Loc(PartFoot))
 	}
 	// Waist at the middle of the path.
 	if kp.Waist.Y < 27 || kp.Waist.Y > 32 {
 		t.Errorf("waist = %v, want mid-line", kp.Waist)
 	}
 	// Chest between head and waist; knee between waist and foot.
-	if c := kp.Pos[PartChest]; c.Y <= kp.Pos[PartHead].Y || c.Y >= kp.Waist.Y {
+	if c := kp.Loc(PartChest); c.Y <= kp.Loc(PartHead).Y || c.Y >= kp.Waist.Y {
 		t.Errorf("chest = %v not between head and waist", c)
 	}
-	if k := kp.Pos[PartKnee]; k.Y <= kp.Waist.Y || k.Y >= kp.Pos[PartFoot].Y {
+	if k := kp.Loc(PartKnee); k.Y <= kp.Waist.Y || k.Y >= kp.Loc(PartFoot).Y {
 		t.Errorf("knee = %v not between waist and foot", k)
 	}
 }
@@ -328,7 +320,7 @@ func dist(a, b imaging.Point) float64 {
 }
 
 func TestEncodeRadialValidation(t *testing.T) {
-	kp := KeyPoints{Waist: imaging.Point{X: 0, Y: 0}, Pos: map[Part]imaging.Point{}}
+	kp := KeyPoints{Waist: imaging.Point{X: 0, Y: 0}}
 	if _, err := EncodeRadial(kp, 8, -1); err == nil {
 		t.Error("negative rings accepted")
 	}
@@ -341,12 +333,10 @@ func TestEncodeRadialRingOrdering(t *testing.T) {
 	kp := KeyPoints{
 		Waist:    imaging.Point{X: 100, Y: 100},
 		TorsoLen: 100,
-		Pos: map[Part]imaging.Point{
-			PartChest: {X: 100, Y: 90},  // near: d = 0.1 torso
-			PartHead:  {X: 100, Y: 40},  // mid: d = 0.6
-			PartHand:  {X: 250, Y: 100}, // far beyond span: clamps
-		},
 	}
+	kp.Set(PartChest, imaging.Point{X: 100, Y: 90})  // near: d = 0.1 torso
+	kp.Set(PartHead, imaging.Point{X: 100, Y: 40})   // mid: d = 0.6
+	kp.Set(PartHand, imaging.Point{X: 250, Y: 100})  // far beyond span: clamps
 	enc, err := EncodeRadial(kp, 8, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -367,10 +357,8 @@ func TestEncodeRadialRingOrdering(t *testing.T) {
 }
 
 func TestEncodeRadialKeyIncludesRings(t *testing.T) {
-	kp := KeyPoints{
-		Waist: imaging.Point{X: 0, Y: 0}, TorsoLen: 50,
-		Pos: map[Part]imaging.Point{PartHead: {X: 0, Y: -30}},
-	}
+	kp := KeyPoints{Waist: imaging.Point{X: 0, Y: 0}, TorsoLen: 50}
+	kp.Set(PartHead, imaging.Point{X: 0, Y: -30})
 	plain, err := Encode(kp, 8)
 	if err != nil {
 		t.Fatal(err)
@@ -409,10 +397,9 @@ func TestEncodingTranslationInvariance(t *testing.T) {
 		kp := KeyPoints{
 			Waist:    imaging.Point{X: 100, Y: 100},
 			TorsoLen: 80,
-			Pos:      map[Part]imaging.Point{},
 		}
 		for _, part := range Parts() {
-			kp.Pos[part] = imaging.Point{X: 100 + r.Intn(81) - 40, Y: 100 + r.Intn(81) - 40}
+			kp.Set(part, imaging.Point{X: 100 + r.Intn(81) - 40, Y: 100 + r.Intn(81) - 40})
 		}
 		base, err := EncodeRadial(kp, 8, 3)
 		if err != nil {
@@ -422,10 +409,9 @@ func TestEncodingTranslationInvariance(t *testing.T) {
 		moved := KeyPoints{
 			Waist:    kp.Waist.Add(imaging.Point{X: dx, Y: dy}),
 			TorsoLen: kp.TorsoLen,
-			Pos:      map[Part]imaging.Point{},
 		}
-		for part, p := range kp.Pos {
-			moved.Pos[part] = p.Add(imaging.Point{X: dx, Y: dy})
+		for _, part := range Parts() {
+			moved.Set(part, kp.Loc(part).Add(imaging.Point{X: dx, Y: dy}))
 		}
 		got, err := EncodeRadial(moved, 8, 3)
 		if err != nil {

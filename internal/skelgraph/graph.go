@@ -23,7 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/imaging"
 )
@@ -120,6 +120,12 @@ type Graph struct {
 	Stats BuildStats
 
 	dead []bool // parallel to Segments; true = removed
+
+	// scr is the frame arena this graph was built from (nil when the
+	// graph owns its memory). When set, every mutating operation and
+	// path query draws its working buffers from the arena instead of
+	// allocating, and the graph itself lives inside the arena.
+	scr *Scratch
 }
 
 // BuildStats counts the Section 3 repairs Build performed on one
@@ -187,8 +193,14 @@ func (a *pixelAdj) neighbors(v int32) []int32 {
 // suppressed when the two pixels already share an orthogonal 2-path (the
 // same reduction used by the thinning metrics; it prevents phantom
 // triangle cycles at corners).
-func pixelAdjacency(skel *imaging.Binary) (idx []int32, pts []imaging.Point, adj pixelAdj) {
-	idx = make([]int32, len(skel.Pix))
+func pixelAdjacency(skel *imaging.Binary, sc *Scratch) (idx []int32, pts []imaging.Point, adj pixelAdj) {
+	if sc != nil {
+		idx = grabInt32(sc.idx, len(skel.Pix))
+		sc.idx = idx
+		pts = sc.pts[:0]
+	} else {
+		idx = make([]int32, len(skel.Pix))
+	}
 	for i := range idx {
 		idx[i] = -1
 	}
@@ -203,7 +215,13 @@ func pixelAdjacency(skel *imaging.Binary) (idx []int32, pts []imaging.Point, adj
 	at := func(x, y int) bool {
 		return x >= 0 && x < skel.W && y >= 0 && y < skel.H && skel.Pix[y*skel.W+x] != 0
 	}
-	adj = pixelAdj{nbr: make([]int32, 8*len(pts)), deg: make([]uint8, len(pts))}
+	if sc != nil {
+		sc.pts = pts
+		adj = pixelAdj{nbr: grabInt32(sc.nbr, 8*len(pts)), deg: grabBytes(sc.deg, len(pts))}
+		sc.nbr, sc.deg = adj.nbr, adj.deg
+	} else {
+		adj = pixelAdj{nbr: make([]int32, 8*len(pts)), deg: make([]uint8, len(pts))}
+	}
 	for vi, p := range pts {
 		x, y := p.X, p.Y
 		for _, d := range imaging.Neighbors8 {
@@ -228,8 +246,18 @@ func pixelAdjacency(skel *imaging.Binary) (idx []int32, pts []imaging.Point, adj
 // removes: vertices with more than one junction vertex (degree >= 3) among
 // their eight neighbours. Exposed for the Figure 3 experiment.
 func AdjacentJunctionVertices(skel *imaging.Binary) []imaging.Point {
-	idx, pts, adj := pixelAdjacency(skel)
+	return adjacentJunctionVertices(skel, nil)
+}
+
+// adjacentJunctionVertices is AdjacentJunctionVertices drawing its pixel
+// graph and result from sc; with a scratch the returned slice aliases
+// sc.remove and is valid only until the arena's next use.
+func adjacentJunctionVertices(skel *imaging.Binary, sc *Scratch) []imaging.Point {
+	idx, pts, adj := pixelAdjacency(skel, sc)
 	var out []imaging.Point
+	if sc != nil {
+		out = sc.remove[:0]
+	}
 	for _, p := range pts {
 		n := 0
 		for _, d := range imaging.Neighbors8 {
@@ -245,7 +273,20 @@ func AdjacentJunctionVertices(skel *imaging.Binary) []imaging.Point {
 			out = append(out, p)
 		}
 	}
+	if sc != nil {
+		sc.remove = out
+	}
 	return out
+}
+
+// applyOptions runs the option closures against a copy of o. Passing
+// &o to unknown closures forces o to the heap, so the escape is
+// quarantined here, off the no-option fast path.
+func applyOptions(o Options, opts []Option) Options {
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
 }
 
 // Build converts a thinned binary image into a loop-free contracted
@@ -253,20 +294,31 @@ func AdjacentJunctionVertices(skel *imaging.Binary) []imaging.Point {
 // spanning tree loop cut). Pruning is left to the caller (Prune) because
 // the paper treats it as a separate, iterative step.
 func Build(skel *imaging.Binary, opts ...Option) (*Graph, error) {
+	return BuildScratch(skel, nil, opts...)
+}
+
+// BuildScratch is Build backed by a per-worker frame arena. With a nil
+// scratch it behaves exactly like Build (fresh allocations, caller owns
+// the graph); with a scratch the returned graph and everything reachable
+// from it live inside the arena and are valid only until the next
+// BuildScratch call on the same arena.
+func BuildScratch(skel *imaging.Binary, sc *Scratch, opts ...Option) (*Graph, error) {
 	o := Options{
 		RemoveAdjacentJunctions: true,
 		MaxSpanning:             true,
 		BridgeRadius:            DefaultBridgeRadius,
 	}
-	for _, fn := range opts {
-		fn(&o)
+	if len(opts) > 0 {
+		// Applied out of line so that on the common no-option hot path the
+		// Options value never has its address taken and stays on the stack.
+		o = applyOptions(o, opts)
 	}
 
 	work := skel
 	pooled := false
 	junctionsRemoved := 0
 	if o.RemoveAdjacentJunctions {
-		remove := AdjacentJunctionVertices(skel)
+		remove := adjacentJunctionVertices(skel, sc)
 		junctionsRemoved = len(remove)
 		if len(remove) > 0 {
 			// The cleaned copy lives only until its adjacency is built;
@@ -280,7 +332,9 @@ func Build(skel *imaging.Binary, opts ...Option) (*Graph, error) {
 		}
 	}
 
-	_, pts, adj := pixelAdjacency(work)
+	// Reuses the arena's adjacency slabs a second time; the junction scan
+	// above is done with them by now.
+	_, pts, adj := pixelAdjacency(work, sc)
 	if pooled {
 		imaging.PutBinary(work)
 	}
@@ -288,7 +342,7 @@ func Build(skel *imaging.Binary, opts ...Option) (*Graph, error) {
 		return nil, ErrEmptySkeleton
 	}
 
-	g := &Graph{W: skel.W, H: skel.H}
+	g := sc.graph(skel.W, skel.H)
 	g.Stats.JunctionsRemoved = junctionsRemoved
 	g.traceSegments(pts, adj)
 	if o.BridgeRadius > 0 {
@@ -303,14 +357,19 @@ func Build(skel *imaging.Binary, opts ...Option) (*Graph, error) {
 // traceSegments contracts the pixel graph into nodes and segments.
 func (g *Graph) traceSegments(pts []imaging.Point, adj pixelAdj) {
 	// Nodes: every pixel whose degree != 2.
-	nodeOf := make([]int32, len(pts))
+	var nodeOf []int32
+	if g.scr != nil {
+		nodeOf = grabInt32(g.scr.nodeOf, len(pts))
+		g.scr.nodeOf = nodeOf
+	} else {
+		nodeOf = make([]int32, len(pts))
+	}
 	for i := range nodeOf {
 		nodeOf[i] = -1
 	}
 	for i := range pts {
 		if adj.deg[i] != 2 {
-			nodeOf[i] = int32(len(g.Nodes))
-			g.Nodes = append(g.Nodes, Node{P: pts[i]})
+			nodeOf[i] = int32(g.newNode(pts[i]))
 		}
 	}
 
@@ -318,7 +377,13 @@ func (g *Graph) traceSegments(pts []imaging.Point, adj pixelAdj) {
 	// has been traced. Edges are marked in both directions, so one flat
 	// byte per pixel replaces the map of pixel pairs the tracer used to
 	// allocate per edge.
-	visited := make([]uint8, len(pts))
+	var visited []uint8
+	if g.scr != nil {
+		visited = grabBytes(g.scr.visited, len(pts))
+		g.scr.visited = visited
+	} else {
+		visited = make([]uint8, len(pts))
+	}
 	markDir := func(a, b int32) {
 		for k, w := range adj.neighbors(a) {
 			if w == b {
@@ -340,6 +405,14 @@ func (g *Graph) traceSegments(pts []imaging.Point, adj pixelAdj) {
 		return false
 	}
 
+	// One path buffer serves every segment trace: the tracer builds a
+	// path here and addSegment copies it into the segment's own (reused)
+	// backing.
+	var path []imaging.Point
+	if g.scr != nil {
+		path = g.scr.pathBuf[:0]
+	}
+
 	// Walk each segment starting from every node pixel.
 	for vi := range pts {
 		if nodeOf[vi] < 0 {
@@ -349,7 +422,7 @@ func (g *Graph) traceSegments(pts []imaging.Point, adj pixelAdj) {
 			if seen(int32(vi), next) {
 				continue
 			}
-			path := []imaging.Point{pts[vi]}
+			path = append(path[:0], pts[vi])
 			prev, cur := int32(vi), next
 			mark(prev, cur)
 			for nodeOf[cur] < 0 {
@@ -387,9 +460,8 @@ func (g *Graph) traceSegments(pts []imaging.Point, adj pixelAdj) {
 		if seen(int32(vi), nb[0]) && seen(int32(vi), nb[1]) {
 			continue
 		}
-		nodeOf[vi] = int32(len(g.Nodes))
-		g.Nodes = append(g.Nodes, Node{P: pts[vi]})
-		path := []imaging.Point{pts[vi]}
+		nodeOf[vi] = int32(g.newNode(pts[vi]))
+		path = append(path[:0], pts[vi])
 		prev, cur := int32(vi), nb[0]
 		mark(prev, cur)
 		for cur != int32(vi) {
@@ -410,11 +482,44 @@ func (g *Graph) traceSegments(pts []imaging.Point, adj pixelAdj) {
 		path = append(path, pts[vi])
 		g.addSegment(int(nodeOf[vi]), int(nodeOf[vi]), path, false)
 	}
+	if g.scr != nil {
+		g.scr.pathBuf = path
+	}
 }
 
+// newNode appends a node for pixel p, reusing the slot's Segs backing
+// when the arena still has the slot in capacity. Node slots are never
+// copied between indices, so per-slot reuse is safe.
+func (g *Graph) newNode(p imaging.Point) int {
+	ni := len(g.Nodes)
+	if cap(g.Nodes) > ni {
+		g.Nodes = g.Nodes[:ni+1]
+		n := &g.Nodes[ni]
+		n.P = p
+		n.Segs = n.Segs[:0]
+	} else {
+		g.Nodes = append(g.Nodes, Node{P: p})
+	}
+	return ni
+}
+
+// addSegment appends a segment whose path is COPIED from the caller's
+// buffer into the slot's own backing array. Per-slot Path reuse demands
+// an invariant: no two slots may ever share a backing array, which is why
+// Compact swaps segments instead of copying them.
 func (g *Graph) addSegment(a, b int, path []imaging.Point, bridge bool) int {
 	si := len(g.Segments)
-	g.Segments = append(g.Segments, Segment{A: a, B: b, Path: path, Bridge: bridge})
+	if cap(g.Segments) > si {
+		g.Segments = g.Segments[:si+1]
+		s := &g.Segments[si]
+		s.A, s.B, s.Bridge = a, b, bridge
+		s.Path = append(s.Path[:0], path...)
+	} else {
+		g.Segments = append(g.Segments, Segment{
+			A: a, B: b, Bridge: bridge,
+			Path: append(make([]imaging.Point, 0, len(path)), path...),
+		})
+	}
 	g.dead = append(g.dead, false)
 	// A self-loop contributes 2 to its node's degree, so it is listed
 	// twice; unlink removes one occurrence at a time.
@@ -428,9 +533,13 @@ func (g *Graph) addSegment(a, b int, path []imaging.Point, bridge bool) int {
 // each other. The pixel path of a bridge is a straight Bresenham line.
 func (g *Graph) addBridges(radius float64) {
 	// Union-find over current segments to know existing pieces.
-	uf := newUnionFind(len(g.Nodes))
-	for _, s := range g.Segments {
-		uf.union(s.A, s.B)
+	uf := g.newUF(len(g.Nodes))
+	for i := range g.Segments {
+		uf.union(g.Segments[i].A, g.Segments[i].B)
+	}
+	var line []imaging.Point
+	if g.scr != nil {
+		line = g.scr.pathBuf[:0]
 	}
 	for i := 0; i < len(g.Nodes); i++ {
 		for j := i + 1; j < len(g.Nodes); j++ {
@@ -442,10 +551,13 @@ func (g *Graph) addBridges(radius float64) {
 			if math.Sqrt(dx*dx+dy*dy) > radius {
 				continue
 			}
-			line := bresenham(pi, pj)
+			line = appendBresenham(line[:0], pi, pj)
 			g.addSegment(i, j, line, true)
 			g.Stats.Bridges++
 		}
+	}
+	if g.scr != nil {
+		g.scr.pathBuf = line
 	}
 }
 
@@ -457,19 +569,29 @@ func (g *Graph) addBridges(radius float64) {
 // dot" separation of Figure 3(b) — leaving a dangling branch for the
 // pruning step to judge.
 func (g *Graph) spanningCut(max bool) {
-	order := make([]int, len(g.Segments))
-	for i := range order {
-		order[i] = i
+	// Order segments by (length, original index) packed into one uint64
+	// key: a single slices.Sort over integers replaces the old
+	// sort.SliceStable closure (whose reflect-based swapper allocates) and
+	// yields the exact same order — the unique low-word index reproduces
+	// stability.
+	var keys []uint64
+	if g.scr != nil {
+		keys = g.scr.order[:0]
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		la, lb := g.Segments[order[a]].Len(), g.Segments[order[b]].Len()
+	for si := range g.Segments {
+		l := uint64(uint32(g.Segments[si].Len()))
 		if max {
-			return la > lb
+			l = uint64(^uint32(0)) - l // descending by length
 		}
-		return la < lb
-	})
-	uf := newUnionFind(len(g.Nodes))
-	for _, si := range order {
+		keys = append(keys, l<<32|uint64(uint32(si)))
+	}
+	slices.Sort(keys)
+	if g.scr != nil {
+		g.scr.order = keys
+	}
+	uf := g.newUF(len(g.Nodes))
+	for _, k := range keys {
+		si := int(uint32(k))
 		s := &g.Segments[si]
 		if uf.union(s.A, s.B) {
 			continue // tree edge, kept intact
@@ -492,8 +614,8 @@ func (g *Graph) detach(si int) {
 	// Unlink from B.
 	g.unlink(s.B, si)
 	s.Path = s.Path[:len(s.Path)-1]
-	ni := len(g.Nodes)
-	g.Nodes = append(g.Nodes, Node{P: s.Path[len(s.Path)-1], Segs: []int{si}})
+	ni := g.newNode(s.Path[len(s.Path)-1])
+	g.Nodes[ni].Segs = append(g.Nodes[ni].Segs, si)
 	s.B = ni
 }
 
@@ -579,21 +701,32 @@ func (g *Graph) TotalLength() int {
 }
 
 // Compact drops dead segments and renumbers; node slots are preserved.
+// Live segments are SWAPPED down rather than copied: a copy would leave
+// two slots pointing at one Path backing array, which the arena's
+// per-slot reuse would then corrupt on a later frame.
 func (g *Graph) Compact() {
-	remap := make([]int, len(g.Segments))
-	live := g.Segments[:0]
-	liveDead := g.dead[:0]
+	var remap []int
+	if g.scr != nil {
+		remap = grabInts(g.scr.remap, len(g.Segments))
+		g.scr.remap = remap
+	} else {
+		remap = make([]int, len(g.Segments))
+	}
+	n := 0
 	for i := range g.Segments {
 		if g.dead[i] {
 			remap[i] = -1
 			continue
 		}
-		remap[i] = len(live)
-		live = append(live, g.Segments[i])
-		liveDead = append(liveDead, false)
+		remap[i] = n
+		if n != i {
+			g.Segments[n], g.Segments[i] = g.Segments[i], g.Segments[n]
+		}
+		n++
 	}
-	g.Segments = live
-	g.dead = liveDead
+	g.Segments = g.Segments[:n]
+	g.dead = g.dead[:n]
+	clear(g.dead)
 	for ni := range g.Nodes {
 		segs := g.Nodes[ni].Segs[:0]
 		for _, si := range g.Nodes[ni].Segs {
@@ -607,7 +740,13 @@ func (g *Graph) Compact() {
 
 // ToBinary rasterises the live skeleton back into a binary image.
 func (g *Graph) ToBinary() *imaging.Binary {
-	out := imaging.NewBinary(g.W, g.H)
+	return g.ToBinaryInto(imaging.NewBinary(g.W, g.H))
+}
+
+// ToBinaryInto rasterises the live skeleton into out, which must be a
+// zeroed g.W×g.H image (NewBinary, GetBinary, or Binary.Reset provide
+// one), and returns out.
+func (g *Graph) ToBinaryInto(out *imaging.Binary) *imaging.Binary {
 	for i, s := range g.Segments {
 		if g.dead[i] {
 			continue
@@ -632,7 +771,7 @@ func (g *Graph) ToBinary() *imaging.Binary {
 // IsForest verifies the loop-free invariant: the live segment set contains
 // no cycle.
 func (g *Graph) IsForest() bool {
-	uf := newUnionFind(len(g.Nodes))
+	uf := g.newUF(len(g.Nodes))
 	for i, s := range g.Segments {
 		if g.dead[i] {
 			continue
@@ -657,12 +796,23 @@ type unionFind struct {
 }
 
 func newUnionFind(n int) *unionFind {
-	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
-	for i := range uf.parent {
-		uf.parent[i] = i
-		uf.size[i] = 1
+	return (&unionFind{}).reset(n)
+}
+
+// reset re-initialises the structure for n elements, reusing its arrays
+// when they are large enough.
+func (u *unionFind) reset(n int) *unionFind {
+	if cap(u.parent) < n {
+		u.parent = make([]int, n)
+		u.size = make([]int, n)
 	}
-	return uf
+	u.parent = u.parent[:n]
+	u.size = u.size[:n]
+	for i := range u.parent {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
+	return u
 }
 
 func (u *unionFind) find(x int) int {
@@ -687,9 +837,8 @@ func (u *unionFind) union(a, b int) bool {
 	return true
 }
 
-// bresenham returns the pixel line from a to b inclusive.
-func bresenham(a, b imaging.Point) []imaging.Point {
-	var out []imaging.Point
+// appendBresenham appends the pixel line from a to b inclusive onto out.
+func appendBresenham(out []imaging.Point, a, b imaging.Point) []imaging.Point {
 	dx := abs(b.X - a.X)
 	dy := -abs(b.Y - a.Y)
 	sx, sy := 1, 1

@@ -9,6 +9,9 @@ import "repro/internal/imaging"
 // kind Junction, shorter than the threshold.
 func (g *Graph) shortBranches(minLen int) []int {
 	var out []int
+	if g.scr != nil {
+		out = g.scr.branches[:0]
+	}
 	for si := range g.Segments {
 		if g.dead[si] {
 			continue
@@ -21,6 +24,9 @@ func (g *Graph) shortBranches(minLen int) []int {
 		if (da == 1 && db >= 3) || (db == 1 && da >= 3) {
 			out = append(out, si)
 		}
+	}
+	if g.scr != nil {
+		g.scr.branches = out
 	}
 	return out
 }
@@ -74,19 +80,23 @@ func (g *Graph) PruneNaive(minLen int) int {
 }
 
 // mergeChains joins the two segments of every degree-2 node into one,
-// eliminating chain nodes introduced by pruning or loop cutting.
+// eliminating chain nodes introduced by pruning or loop cutting. The
+// merged path is assembled in a side buffer (s1's own Path is one of the
+// inputs) and then copied back into s1's slot, preserving the one-backing-
+// array-per-slot invariant the arena relies on.
 func (g *Graph) mergeChains() {
+	var buf []imaging.Point
+	if g.scr != nil {
+		buf = g.scr.pathBuf[:0]
+	}
 	for ni := range g.Nodes {
 		for g.Degree(ni) == 2 {
 			s1i, s2i := g.Nodes[ni].Segs[0], g.Nodes[ni].Segs[1]
 			if s1i == s2i {
 				break // self-loop; forbidden by the forest invariant, but stay safe
 			}
-			p1 := orientPathTo(g.Segments[s1i], ni)   // ends at ni
-			p2 := orientPathFrom(g.Segments[s2i], ni) // starts at ni
-			merged := make([]imaging.Point, 0, len(p1)+len(p2)-1)
-			merged = append(merged, p1...)
-			merged = append(merged, p2[1:]...)
+			buf = appendPathTo(buf[:0], &g.Segments[s1i], ni)   // ends at ni
+			buf = appendPathFromSkip(buf, &g.Segments[s2i], ni) // continues from ni
 			a := otherEnd(g.Segments[s1i], ni)
 			b := otherEnd(g.Segments[s2i], ni)
 			// Replace s1 with the merged segment, kill s2 and the node.
@@ -95,11 +105,16 @@ func (g *Graph) mergeChains() {
 			g.unlink(ni, s2i)
 			g.unlink(b, s2i)
 			g.dead[s2i] = true
-			g.Segments[s1i] = Segment{A: a, B: b, Path: merged,
-				Bridge: g.Segments[s1i].Bridge && g.Segments[s2i].Bridge}
+			s1 := &g.Segments[s1i]
+			s1.A, s1.B = a, b
+			s1.Bridge = s1.Bridge && g.Segments[s2i].Bridge
+			s1.Path = append(s1.Path[:0], buf...)
 			g.Nodes[a].Segs = append(g.Nodes[a].Segs, s1i)
 			g.Nodes[b].Segs = append(g.Nodes[b].Segs, s1i)
 		}
+	}
+	if g.scr != nil {
+		g.scr.pathBuf = buf
 	}
 }
 
@@ -110,48 +125,58 @@ func otherEnd(s Segment, n int) int {
 	return s.A
 }
 
-// orientPathTo returns the segment path oriented so it ENDS at node n.
-func orientPathTo(s Segment, n int) []imaging.Point {
+// appendPathTo appends s's path onto dst oriented so it ENDS at node n.
+func appendPathTo(dst []imaging.Point, s *Segment, n int) []imaging.Point {
 	if s.B == n {
-		return s.Path
+		return append(dst, s.Path...)
 	}
-	return reversePath(s.Path)
+	for i := len(s.Path) - 1; i >= 0; i-- {
+		dst = append(dst, s.Path[i])
+	}
+	return dst
 }
 
-// orientPathFrom returns the segment path oriented so it STARTS at node n.
-func orientPathFrom(s Segment, n int) []imaging.Point {
+// appendPathFromSkip appends s's path onto dst oriented so it STARTS at
+// node n, omitting n's own pixel (the caller already emitted it).
+func appendPathFromSkip(dst []imaging.Point, s *Segment, n int) []imaging.Point {
 	if s.A == n {
-		return s.Path
+		return append(dst, s.Path[1:]...)
 	}
-	return reversePath(s.Path)
-}
-
-func reversePath(p []imaging.Point) []imaging.Point {
-	out := make([]imaging.Point, len(p))
-	for i, v := range p {
-		out[len(p)-1-i] = v
+	for i := len(s.Path) - 2; i >= 0; i-- {
+		dst = append(dst, s.Path[i])
 	}
-	return out
+	return dst
 }
 
 // NodePath returns the unique tree path between nodes a and b as a node
 // sequence plus the segments traversed, or ok=false when they lie in
-// different components.
+// different components. On a scratch-backed graph the returned slices
+// alias the arena and are valid only until its next path query.
 func (g *Graph) NodePath(a, b int) (nodes []int, segs []int, ok bool) {
 	if a == b {
 		return []int{a}, nil, true
 	}
-	prevNode := make([]int, len(g.Nodes))
-	prevSeg := make([]int, len(g.Nodes))
+	sc := g.scr
+	var prevNode, prevSeg, queue []int
+	if sc != nil {
+		prevNode = grabInts(sc.prevNode, len(g.Nodes))
+		sc.prevNode = prevNode
+		prevSeg = grabInts(sc.prevSeg, len(g.Nodes))
+		sc.prevSeg = prevSeg
+		queue = sc.queue[:0]
+	} else {
+		prevNode = make([]int, len(g.Nodes))
+		prevSeg = make([]int, len(g.Nodes))
+	}
 	for i := range prevNode {
 		prevNode[i] = -1
 		prevSeg[i] = -1
 	}
 	prevNode[a] = a
-	queue := []int{a}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	queue = append(queue, a)
+bfs:
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
 		for _, si := range g.Nodes[cur].Segs {
 			if g.dead[si] {
 				continue
@@ -163,14 +188,20 @@ func (g *Graph) NodePath(a, b int) (nodes []int, segs []int, ok bool) {
 			prevNode[nxt] = cur
 			prevSeg[nxt] = si
 			if nxt == b {
-				queue = nil
-				break
+				break bfs
 			}
 			queue = append(queue, nxt)
 		}
 	}
+	if sc != nil {
+		sc.queue = queue
+	}
 	if prevNode[b] == -1 {
 		return nil, nil, false
+	}
+	if sc != nil {
+		nodes = sc.pathNodes[:0]
+		segs = sc.pathSegs[:0]
 	}
 	for cur := b; cur != a; cur = prevNode[cur] {
 		nodes = append(nodes, cur)
@@ -179,6 +210,10 @@ func (g *Graph) NodePath(a, b int) (nodes []int, segs []int, ok bool) {
 	nodes = append(nodes, a)
 	reverseInts(nodes)
 	reverseInts(segs)
+	if sc != nil {
+		sc.pathNodes = nodes
+		sc.pathSegs = segs
+	}
 	return nodes, segs, true
 }
 
@@ -190,15 +225,23 @@ func reverseInts(s []int) {
 
 // PixelPath returns the full pixel path between nodes a and b, or ok=false
 // when disconnected. The path starts at a's pixel and ends at b's pixel.
+// On a scratch-backed graph the slice aliases the arena and is valid only
+// until its next path query.
 func (g *Graph) PixelPath(a, b int) ([]imaging.Point, bool) {
 	nodes, segs, ok := g.NodePath(a, b)
 	if !ok {
 		return nil, false
 	}
-	out := []imaging.Point{g.Nodes[a].P}
+	var out []imaging.Point
+	if g.scr != nil {
+		out = g.scr.pathOut[:0]
+	}
+	out = append(out, g.Nodes[a].P)
 	for i, si := range segs {
-		p := orientPathFrom(g.Segments[si], nodes[i])
-		out = append(out, p[1:]...)
+		out = appendPathFromSkip(out, &g.Segments[si], nodes[i])
+	}
+	if g.scr != nil {
+		g.scr.pathOut = out
 	}
 	return out, true
 }
@@ -259,7 +302,7 @@ func (g *Graph) farthestFrom(start int) (node, dist int) {
 // least one live segment or is an isolated node with degree > 0 (i.e.
 // nodes stranded with no segments are skipped).
 func (g *Graph) Components() [][]int {
-	uf := newUnionFind(len(g.Nodes))
+	uf := g.newUF(len(g.Nodes))
 	for i, s := range g.Segments {
 		if !g.dead[i] {
 			uf.union(s.A, s.B)
@@ -285,6 +328,66 @@ func (g *Graph) Components() [][]int {
 		out = append(out, groups[r])
 	}
 	return out
+}
+
+// MarkLargestComponent writes membership of the largest component — the
+// one with the greatest summed live-segment pixel length, ties broken by
+// lowest node index, the same ordering LargestComponentNodes uses — into a
+// node-indexed mask and returns it. The provided mask is reused when it
+// has capacity (pass nil to allocate fresh); nodes with no live segment
+// are never marked, and an all-false mask means the graph has no live
+// segments.
+func (g *Graph) MarkLargestComponent(mask []bool) []bool {
+	n := len(g.Nodes)
+	if cap(mask) < n {
+		mask = make([]bool, n)
+	} else {
+		mask = mask[:n]
+		clear(mask)
+	}
+	uf := g.newUF(n)
+	for si := range g.Segments {
+		if !g.dead[si] {
+			uf.union(g.Segments[si].A, g.Segments[si].B)
+		}
+	}
+	// Summed live pixel length per component root.
+	var total []int
+	if g.scr != nil {
+		total = grabInts(g.scr.compLen, n)
+		g.scr.compLen = total
+		for i := range total {
+			total[i] = 0
+		}
+	} else {
+		total = make([]int, n)
+	}
+	for si := range g.Segments {
+		if !g.dead[si] {
+			total[uf.find(g.Segments[si].A)] += g.Segments[si].Len()
+		}
+	}
+	// Scanning nodes in ascending order and replacing only on strictly
+	// greater totals reproduces Components'/LargestComponentNodes'
+	// lowest-node-index tie-break.
+	best, bestLen := -1, -1
+	for i := 0; i < n; i++ {
+		if g.Degree(i) == 0 {
+			continue
+		}
+		if r := uf.find(i); total[r] > bestLen {
+			best, bestLen = r, total[r]
+		}
+	}
+	if best < 0 {
+		return mask
+	}
+	for i := 0; i < n; i++ {
+		if g.Degree(i) > 0 && uf.find(i) == best {
+			mask[i] = true
+		}
+	}
+	return mask
 }
 
 // LargestComponentNodes returns the node indices of the component with the
