@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet sljcheck lint test race test-race bench bench-json bench-smoke bench-stream bench-gate bench-baseline experiments figures fuzz clean
+.PHONY: all build vet sljcheck lint test race test-race bench bench-json bench-smoke bench-stream bench-gate bench-baseline report experiments figures fuzz clean
 
 all: build lint test
 
@@ -68,6 +68,28 @@ bench-stream:
 	go run ./cmd/sljeval -data stream_data -stream -workers 4 -metrics-out metrics_stream.json > /dev/null
 	rm -rf stream_data
 
+# End-of-run report + live dashboard smoke: run an instrumented mini
+# evaluation with the sampler on, render one sljtop frame against its
+# live /debug endpoints while the job is still running, and leave
+# RUN_REPORT.json + RUN_REPORT.md behind for artifact upload. Binaries
+# are prebuilt so sljtop's connect retries race the evaluation, not the
+# compiler.
+report:
+	mkdir -p .report_bin
+	go build -o .report_bin/ ./cmd/sljeval ./cmd/sljtop
+	go run ./cmd/sljgen -out report_data -train 4 -test 6
+	./.report_bin/sljeval -data report_data -workers 4 -metrics 127.0.0.1:6070 \
+		-sample-interval 100ms -report RUN_REPORT.json > /dev/null & \
+	EVAL=$$!; \
+	./.report_bin/sljtop -addr 127.0.0.1:6070 -once -connect-timeout 10s | tee sljtop_once.txt; \
+	TOP=$$?; \
+	wait $$EVAL; \
+	EV=$$?; \
+	rm -rf report_data .report_bin; \
+	test $$TOP -eq 0 && test $$EV -eq 0
+	grep -q "stage.classify.ns" sljtop_once.txt
+	test -s RUN_REPORT.json && test -s RUN_REPORT.md
+
 # Regenerate every paper figure/result at full size (see DESIGN.md §4).
 experiments:
 	go run ./cmd/sljexp -exp all -artifacts figures/ | tee results_full.txt
@@ -83,4 +105,4 @@ fuzz:
 	go test -fuzz FuzzReader -fuzztime 10s ./internal/video/
 
 clean:
-	rm -rf figures/ results_full.txt test_output.txt bench_output.txt smoke_data BENCH_smoke.json BENCH_gate.json metrics_snapshot.json stream_data BENCH_stream.json metrics_stream.json
+	rm -rf figures/ results_full.txt test_output.txt bench_output.txt smoke_data BENCH_smoke.json BENCH_gate.json metrics_snapshot.json stream_data BENCH_stream.json metrics_stream.json report_data .report_bin RUN_REPORT.json RUN_REPORT.md sljtop_once.txt

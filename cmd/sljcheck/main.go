@@ -1,16 +1,21 @@
 // Command sljcheck is the project's static-analysis multichecker. It
-// runs the three invariant analyzers — pooldiscipline, maporder, and
-// syncmisuse (see DESIGN.md §8) — over the module's packages and exits
-// non-zero if any finding survives.
+// runs the four invariant analyzers — pooldiscipline, maporder,
+// syncmisuse, and metricnames (see DESIGN.md §8) — over the module's
+// packages and exits non-zero if any finding survives.
 //
 // Usage:
 //
 //	go run ./cmd/sljcheck [-run name,name] [package patterns]
+//	go run ./cmd/sljcheck -metric-inventory [package patterns]
 //
 // Patterns default to ./... relative to the enclosing module. Findings
 // print as file:line:col: analyzer: message. Intentional violations are
 // suppressed in source with //slj:<annotation> comments; each analyzer's
 // package doc lists its annotation.
+//
+// -metric-inventory skips analysis and instead prints every metric
+// registration site as a markdown table — the source of the metrics
+// reference in DESIGN.md §12.
 package main
 
 import (
@@ -22,12 +27,14 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/metricnames"
 	"repro/internal/analysis/pooldiscipline"
 	"repro/internal/analysis/syncmisuse"
 )
 
 var all = []*analysis.Analyzer{
 	maporder.Analyzer,
+	metricnames.Analyzer,
 	pooldiscipline.Analyzer,
 	syncmisuse.Analyzer,
 }
@@ -35,6 +42,7 @@ var all = []*analysis.Analyzer{
 func main() {
 	runList := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	inventory := flag.Bool("metric-inventory", false, "print every metric registration site as a markdown table and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: sljcheck [-run name,name] [packages]\n\nanalyzers:\n")
 		for _, a := range all {
@@ -84,8 +92,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags := analysis.Run(pkgs, analyzers)
 	wd, _ := os.Getwd()
+	if *inventory {
+		fmt.Println("| Name | Kind | Registered at |")
+		fmt.Println("|---|---|---|")
+		for _, s := range metricnames.Inventory(pkgs) {
+			site := s.Pos.Filename
+			if wd != "" {
+				if rel, err := filepath.Rel(wd, site); err == nil && !strings.HasPrefix(rel, "..") {
+					site = rel
+				}
+			}
+			name := s.Name
+			if !s.Literal {
+				name = "(dynamic) `" + name + "`"
+			} else {
+				name = "`" + name + "`"
+			}
+			fmt.Printf("| %s | %s | %s:%d |\n", name, s.Kind, site, s.Pos.Line)
+		}
+		return
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
 	for _, d := range diags {
 		name := d.Pos.Filename
 		if wd != "" {

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -254,6 +255,92 @@ func TestEngineObservedMatchesSequential(t *testing.T) {
 			}
 			if rec.Stage == "" || !strings.HasPrefix(rec.Clip, "test-") {
 				t.Fatalf("workers=%d: span record %q missing stage or clip label", workers, line)
+			}
+		}
+	}
+}
+
+// TestEngineSampledReportMatchesSequential extends the observability
+// contract to the consumption layer: with a live Sampler snapshotting
+// the registry at a tiny interval AND an end-of-run report, engine
+// results stay bit-identical to the uninstrumented sequential path,
+// and the report's stage quantiles agree exactly with quantiles
+// computed from the registry's final histogram snapshots.
+func TestEngineSampledReportMatchesSequential(t *testing.T) {
+	ds := smallDataset(t, 65)
+	sys, model := trainGolden(t, ds)
+	wantSum, wantConf, err := sys.Evaluate(ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scope := obs.NewScope(obs.NewRegistry())
+	smp := obs.NewSampler(scope.Registry(), time.Millisecond, 64)
+	smp.Start()
+	eng, err := NewEngine(4, WithObservability(scope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadModel(bytes.NewReader(model)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	sum, conf, err := eng.Evaluate(ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp.Stop()
+
+	if !reflect.DeepEqual(sum, wantSum) {
+		t.Error("sampled run summary differs from sequential")
+	}
+	if !reflect.DeepEqual(*conf, *wantConf) {
+		t.Error("sampled run confusion matrix differs from sequential")
+	}
+
+	// The sampler observed the run: its final tick carries the lifetime
+	// frame count spread across the sampled windows.
+	ts := smp.Series()
+	if ts.Ticks < 1 {
+		t.Fatalf("sampler ticks = %d, want >= 1", ts.Ticks)
+	}
+	if _, ok := ts.Latest("pipeline.frames.rate"); !ok {
+		t.Error("pipeline.frames.rate series missing after a sampled run")
+	}
+
+	// The run report derives from the very snapshot it claims to
+	// summarise.
+	snap := scope.Registry().Snapshot()
+	rep := obs.BuildRunReport(snap, time.Since(start), time.Now())
+	wantFrames := int64(0)
+	for _, lc := range ds.Test {
+		wantFrames += int64(len(lc.Clip.Frames))
+	}
+	if rep.Frames != wantFrames {
+		t.Errorf("report frames = %d, want %d", rep.Frames, wantFrames)
+	}
+	byName := map[string]obs.HistogramSnapshot{}
+	for _, h := range snap.Histograms {
+		byName[h.Name] = h.HistogramSnapshot
+	}
+	if len(rep.Stages) != len(byName) {
+		t.Fatalf("report stages = %d, want %d", len(rep.Stages), len(byName))
+	}
+	for _, st := range rep.Stages {
+		hs, ok := byName[st.Name]
+		if !ok {
+			t.Errorf("report stage %q has no registry histogram", st.Name)
+			continue
+		}
+		if st.Count != hs.Count {
+			t.Errorf("report %s count = %d, registry %d", st.Name, st.Count, hs.Count)
+		}
+		for _, q := range []struct {
+			got float64
+			q   float64
+		}{{st.P50NS, 0.50}, {st.P95NS, 0.95}, {st.P99NS, 0.99}} {
+			if want := hs.Quantile(q.q); q.got != want {
+				t.Errorf("report %s q%.0f = %v, registry quantile %v", st.Name, q.q*100, q.got, want)
 			}
 		}
 	}

@@ -16,6 +16,8 @@
 //     writers.
 //   - syncmisuse: no locks copied by value, no goroutines writing shared
 //     state without an index-disjoint or synchronised pattern.
+//   - metricnames: obs.Registry metric names are lowercase dot-case and
+//     registered from exactly one call site.
 //
 // See DESIGN.md §8 for the invariant catalogue and annotation grammar.
 package analysis

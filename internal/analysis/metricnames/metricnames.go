@@ -1,0 +1,162 @@
+// Package metricnames guards the observability naming contract: every
+// metric registered on an obs.Registry — via Counter, Gauge, Histogram,
+// or RegisterFunc with a literal name — must be lowercase dot-case
+// ("pipeline.frames", "stage.thin.ns", "parallel.stall_ns"), and each
+// literal name must be registered from exactly one call site per
+// package. The Prometheus exposition, the sampler's derived series, the
+// run report, and the sljtop dashboard all key on these names; a
+// one-off "Frames_Total" or a second registration site silently forks
+// the timeline.
+//
+// Names built by concatenation (e.g. "stage."+st.String()+".ns") are
+// outside the analyzer's reach and are skipped. `//slj:metric-ok` on
+// the offending line (or the line above) records that a nonconforming
+// or duplicated name is intentional.
+package metricnames
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+// Annotation is the suppression annotation honoured by this analyzer.
+const Annotation = "metric-ok"
+
+// Analyzer enforces lowercase dot-case metric names with one
+// registration site each.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricnames",
+	Doc:  "check that obs.Registry metric names are lowercase dot-case and registered from a single call site",
+	Run:  run,
+}
+
+// registryMethods maps the Registry registration methods to the metric
+// kind they create.
+var registryMethods = map[string]string{
+	"Counter":      "counter",
+	"Gauge":        "gauge",
+	"Histogram":    "histogram",
+	"RegisterFunc": "func",
+}
+
+// nameRE is the naming contract: dot-separated segments of
+// [a-z0-9_], the first starting with a letter.
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$`)
+
+// Site is one metric registration call.
+type Site struct {
+	// Name is the metric name: the literal value, or the source
+	// expression when the name is built dynamically.
+	Name string
+	// Kind is counter, gauge, histogram, or func.
+	Kind string
+	// Pos locates the call.
+	Pos token.Position
+	// Literal reports whether Name came from a string literal (only
+	// literal names are validated and deduplicated).
+	Literal bool
+	pos     token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	firstAt := map[string]token.Position{}
+	for _, site := range collect(pass) {
+		if !site.Literal {
+			continue
+		}
+		if !nameRE.MatchString(site.Name) && !pass.Annotated(site.pos, Annotation) {
+			pass.Reportf(site.pos, "metric name %q is not lowercase dot-case (want e.g. %q); rename it or annotate //slj:metric-ok", site.Name, "pipeline.frames")
+		}
+		if prev, dup := firstAt[site.Name]; dup {
+			if !pass.Annotated(site.pos, Annotation) {
+				pass.Reportf(site.pos, "metric %q is already registered at %s; a metric must have exactly one registration site, hoist it or annotate //slj:metric-ok", site.Name, prev)
+			}
+			continue
+		}
+		firstAt[site.Name] = site.Pos
+	}
+	return nil
+}
+
+// collect walks the package and returns every Registry registration
+// call in source order.
+func collect(pass *analysis.Pass) []Site {
+	var sites []Site
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil {
+				return true
+			}
+			kind, ok := registryMethods[fn.Name()]
+			if !ok || !receiverIsRegistry(fn) {
+				return true
+			}
+			site := Site{Kind: kind, Pos: pass.Fset.Position(call.Pos()), pos: call.Pos()}
+			arg := ast.Unparen(call.Args[0])
+			if lit, ok := arg.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				if name, err := strconv.Unquote(lit.Value); err == nil {
+					site.Name, site.Literal = name, true
+				}
+			}
+			if !site.Literal {
+				site.Name = types.ExprString(call.Args[0])
+			}
+			sites = append(sites, site)
+			return true
+		})
+	}
+	return sites
+}
+
+// receiverIsRegistry reports whether fn is a method on a type named
+// Registry (pointer or value receiver). Matching by type name rather
+// than by package path keeps the analyzer testable against fixture
+// packages that declare their own Registry.
+func receiverIsRegistry(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+// Inventory extracts every registration site across pkgs, sorted by
+// name then position — the source of truth for the metrics reference
+// table (sljcheck -metric-inventory).
+func Inventory(pkgs []*analysis.Package) []Site {
+	var sites []Site
+	for _, pkg := range pkgs {
+		pass := &analysis.Pass{
+			Analyzer: Analyzer,
+			Fset:     pkg.Fset,
+			Files:    pkg.Syntax,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		sites = append(sites, collect(pass)...)
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].Name != sites[j].Name {
+			return sites[i].Name < sites[j].Name
+		}
+		return sites[i].Pos.Filename < sites[j].Pos.Filename ||
+			(sites[i].Pos.Filename == sites[j].Pos.Filename && sites[i].Pos.Line < sites[j].Pos.Line)
+	})
+	return sites
+}

@@ -1,0 +1,85 @@
+package metricnames
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atest"
+)
+
+func TestMetricNames(t *testing.T) {
+	atest.Run(t, "testdata", "metricnames", Analyzer)
+}
+
+func TestNameRE(t *testing.T) {
+	valid := []string{
+		"pipeline.frames", "stage.thin.ns", "parallel.stall_ns",
+		"imaging.pool.double_puts", "pipeline.decided.stage3", "frames",
+	}
+	for _, name := range valid {
+		if !nameRE.MatchString(name) {
+			t.Errorf("nameRE rejects valid name %q", name)
+		}
+	}
+	invalid := []string{
+		"", "Pipeline.frames", "pipeline..frames", ".frames", "frames.",
+		"9pipeline", "pipeline frames", "pipeline-frames", "pipeline.frames ",
+	}
+	for _, name := range invalid {
+		if nameRE.MatchString(name) {
+			t.Errorf("nameRE accepts invalid name %q", name)
+		}
+	}
+}
+
+// TestInventory runs the inventory over the fixture package and checks
+// sorting, kinds, and dynamic-name capture.
+func TestInventory(t *testing.T) {
+	loader, err := analysis.NewLoader("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.ExtraRoots = []string{"testdata/src"}
+	pkg, err := loader.LoadTarget("metricnames", "testdata/src/metricnames")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := Inventory([]*analysis.Package{pkg})
+	if len(sites) == 0 {
+		t.Fatal("inventory is empty")
+	}
+	for i := 1; i < len(sites); i++ {
+		if sites[i-1].Name > sites[i].Name {
+			t.Errorf("inventory not sorted: %q before %q", sites[i-1].Name, sites[i].Name)
+		}
+	}
+	byName := map[string]Site{}
+	dynamics := 0
+	for _, s := range sites {
+		if s.Literal {
+			byName[s.Name] = s
+		} else {
+			dynamics++
+			if !strings.Contains(s.Name, "dyn()") {
+				t.Errorf("dynamic site name = %q, want the source expression", s.Name)
+			}
+		}
+	}
+	if got := byName["pipeline.frames"]; got.Kind != "counter" {
+		t.Errorf("pipeline.frames kind = %q, want counter", got.Kind)
+	}
+	if got := byName["stage.thin.ns"]; got.Kind != "histogram" {
+		t.Errorf("stage.thin.ns kind = %q, want histogram", got.Kind)
+	}
+	if got := byName["parallel.stall_ns"]; got.Kind != "func" {
+		t.Errorf("parallel.stall_ns kind = %q, want func", got.Kind)
+	}
+	if dynamics != 1 {
+		t.Errorf("dynamic sites = %d, want 1", dynamics)
+	}
+	// notRegistry calls must not leak in.
+	if _, ok := byName["NOT.A.METRIC"]; ok {
+		t.Error("inventory includes a non-Registry call")
+	}
+}

@@ -1,0 +1,52 @@
+// Package metricnames is the fixture for the metricnames analyzer: a
+// local Registry type shaped like obs.Registry, plus registrations that
+// exercise the naming and single-site rules.
+package metricnames
+
+// Registry mirrors the registration surface of obs.Registry.
+type Registry struct{}
+
+func (r *Registry) Counter(name string) int                   { return 0 }
+func (r *Registry) Gauge(name string) int                     { return 0 }
+func (r *Registry) Histogram(name string, bounds []int64) int { return 0 }
+func (r *Registry) RegisterFunc(name string, fn func() int64) {}
+
+// notRegistry has the same method names but a different type name; its
+// calls are ignored.
+type notRegistry struct{}
+
+func (notRegistry) Counter(name string) int { return 0 }
+
+func dyn() string { return "thin" }
+
+func register(reg *Registry) {
+	// Conforming names pass.
+	reg.Counter("pipeline.frames")
+	reg.Gauge("engine.pool_free")
+	reg.Histogram("stage.thin.ns", nil)
+	reg.RegisterFunc("parallel.stall_ns", nil)
+	reg.Counter("pipeline.decided.stage3")
+
+	// Naming violations.
+	reg.Counter("Pipeline.Frames")    // want "not lowercase dot-case"
+	reg.Gauge("engine pool free")     // want "not lowercase dot-case"
+	reg.Histogram("stage..ns", nil)   // want "not lowercase dot-case"
+	reg.RegisterFunc("9leading", nil) // want "not lowercase dot-case"
+	reg.Counter("trailing.dot.")      // want "not lowercase dot-case"
+	reg.Counter("dash-case.name")     // want "not lowercase dot-case"
+
+	// Second registration of an existing name.
+	reg.Counter("pipeline.frames") // want "already registered"
+
+	// Dynamic names are out of reach and skipped.
+	reg.Histogram("stage."+dyn()+".ns", nil)
+
+	// Annotated violations are accepted.
+	//slj:metric-ok legacy dashboard key, renaming would break saved boards
+	reg.Counter("Legacy.Name")
+	reg.Gauge("engine.pool_free") //slj:metric-ok re-registered by the fixture on purpose
+
+	// Same method names on another type are not metric registrations.
+	var n notRegistry
+	n.Counter("NOT.A.METRIC")
+}

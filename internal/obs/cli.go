@@ -3,8 +3,12 @@ package obs
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime/trace"
+	"strings"
+	"time"
 )
 
 // CLI bundles the observability command-line surface shared by the slj
@@ -13,7 +17,8 @@ import (
 // with no flags set is fully inert — Start returns a nil *Scope and the
 // pipeline runs exactly as before.
 type CLI struct {
-	// Metrics is the -metrics listen address (expvar + JSON + pprof).
+	// Metrics is the -metrics listen address (expvar + JSON + Prometheus
+	// + timeseries + pprof).
 	Metrics string
 	// Pprof is the -pprof listen address; shares the -metrics server
 	// when equal or empty while -metrics is set.
@@ -24,26 +29,47 @@ type CLI struct {
 	Spans string
 	// MetricsOut is the -metrics-out snapshot path written by Stop.
 	MetricsOut string
+	// SampleInterval is the -sample-interval time-series sampling period
+	// (0 disables the sampler; only active when some other flag enables
+	// observability).
+	SampleInterval time.Duration
+	// SampleWindow is the ring-buffer capacity in points.
+	SampleWindow int
+	// Report is the -report RUN_REPORT.json path written by Stop (a .md
+	// rendering is written alongside it).
+	Report string
+	// ReportCompare is the -report-compare baseline report; Stop returns
+	// an error when the new report regresses against it.
+	ReportCompare string
 
 	scope     *Scope
 	metricsLn *Server
 	pprofLn   *Server
 	tracer    *Tracer
 	traceFile *os.File
+	sampler   *Sampler
+	started   time.Time
 }
 
 // RegisterFlags installs the observability flags on fs.
 func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
-	fs.StringVar(&c.Metrics, "metrics", "", "serve expvar (/debug/vars), JSON metrics (/debug/metrics) and pprof on this address, e.g. :6060")
+	fs.StringVar(&c.Metrics, "metrics", "", "serve expvar (/debug/vars), JSON metrics (/debug/metrics), Prometheus text (/debug/metrics.prom), sampled series (/debug/timeseries) and pprof on this address, e.g. :6060")
 	fs.StringVar(&c.Pprof, "pprof", "", "serve net/http/pprof on this address (separate from -metrics)")
 	fs.StringVar(&c.Trace, "trace", "", "write a runtime/trace profile to this file (view with `go tool trace`)")
-	fs.StringVar(&c.Spans, "spans", "", "write per-stage span timings to this file as JSON Lines")
+	fs.StringVar(&c.Spans, "spans", "", "write per-stage span timings to this file as JSON Lines (convert with sljtrace for Perfetto)")
 	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write a final metrics snapshot (JSON) to this file on exit")
+	fs.DurationVar(&c.SampleInterval, "sample-interval", time.Second, "time-series sampling period for /debug/timeseries and sljtop (0 disables sampling)")
+	fs.IntVar(&c.SampleWindow, "sample-window", 300, "time-series ring-buffer capacity in samples")
+	fs.StringVar(&c.Report, "report", "", "write an end-of-run report (JSON + markdown sibling) to this path, e.g. RUN_REPORT.json")
+	fs.StringVar(&c.ReportCompare, "report-compare", "", "previous -report JSON to gate against; exit non-zero when stage quantiles or throughput regress")
 }
 
-// Enabled reports whether any observability flag was set.
+// Enabled reports whether any observability sink was requested.
+// -sample-interval alone does not enable anything: sampling is a
+// consumer of the other sinks, not a sink itself.
 func (c *CLI) Enabled() bool {
-	return c.Metrics != "" || c.Pprof != "" || c.Trace != "" || c.Spans != "" || c.MetricsOut != ""
+	return c.Metrics != "" || c.Pprof != "" || c.Trace != "" || c.Spans != "" ||
+		c.MetricsOut != "" || c.Report != ""
 }
 
 // Start brings up every requested sink and returns the pipeline scope
@@ -54,10 +80,16 @@ func (c *CLI) Start() (*Scope, error) {
 	if !c.Enabled() {
 		return nil, nil
 	}
+	c.started = time.Now()
 	c.scope = NewScope(NewRegistry())
+	if c.SampleInterval > 0 {
+		c.sampler = NewSampler(c.scope.Registry(), c.SampleInterval, c.SampleWindow)
+		c.sampler.Start()
+	}
 	if c.Spans != "" {
 		t, err := OpenTrace(c.Spans)
 		if err != nil {
+			c.shutdown()
 			return nil, err
 		}
 		c.tracer = t
@@ -77,16 +109,16 @@ func (c *CLI) Start() (*Scope, error) {
 		c.traceFile = f
 	}
 	if c.Metrics != "" {
-		s, err := Serve(c.Metrics, c.scope.Registry())
+		s, err := Serve(c.Metrics, c.scope.Registry(), c.sampler)
 		if err != nil {
 			c.shutdown()
 			return nil, err
 		}
 		c.metricsLn = s
-		fmt.Fprintf(os.Stderr, "obs: metrics on http://%s/debug/metrics (expvar at /debug/vars)\n", s.Addr())
+		fmt.Fprintf(os.Stderr, "obs: metrics on http://%s/debug/metrics (expvar at /debug/vars, Prometheus at /debug/metrics.prom, series at /debug/timeseries)\n", s.Addr())
 	}
 	if c.Pprof != "" && c.Pprof != c.Metrics {
-		s, err := Serve(c.Pprof, nil)
+		s, err := Serve(c.Pprof, nil, nil)
 		if err != nil {
 			c.shutdown()
 			return nil, err
@@ -98,9 +130,12 @@ func (c *CLI) Start() (*Scope, error) {
 }
 
 // Stop flushes and closes every sink Start opened: stops the runtime
-// trace, closes the span tracer, writes the -metrics-out snapshot, and
-// shuts the HTTP servers down. Safe to call when Start was never called
-// or returned (nil, nil).
+// trace, closes the span tracer, stops the sampler (capturing one final
+// tick), writes the -metrics-out snapshot and the -report files, and
+// shuts the HTTP servers down gracefully. Safe to call when Start was
+// never called or returned (nil, nil). When -report-compare was given
+// and the new report regresses, the returned error describes every
+// regression.
 func (c *CLI) Stop() error {
 	var first error
 	keep := func(err error) {
@@ -115,8 +150,12 @@ func (c *CLI) Stop() error {
 	}
 	keep(c.tracer.Close())
 	c.tracer = nil
+	c.sampler.Stop()
 	if c.MetricsOut != "" && c.scope != nil {
 		keep(c.writeSnapshot())
+	}
+	if c.Report != "" && c.scope != nil {
+		keep(c.writeReport())
 	}
 	c.shutdown()
 	return first
@@ -137,9 +176,77 @@ func (c *CLI) writeSnapshot() error {
 	return nil
 }
 
-// shutdown closes the HTTP servers (used by Stop and by Start's error
-// paths).
+// writeReport builds the end-of-run report from the registry's final
+// snapshot and writes the JSON and markdown renderings; with
+// -report-compare it then gates against the baseline report.
+func (c *CLI) writeReport() error {
+	rep := BuildRunReport(c.scope.Registry().Snapshot(), time.Since(c.started), time.Now())
+	if err := writeFileWith(c.Report, rep.WriteJSON); err != nil {
+		return err
+	}
+	if err := writeFileWith(reportMarkdownPath(c.Report), rep.WriteMarkdown); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "obs: run report written to %s (markdown: %s)\n",
+		c.Report, reportMarkdownPath(c.Report))
+	if c.ReportCompare == "" {
+		return nil
+	}
+	base, err := LoadRunReport(c.ReportCompare)
+	if err != nil {
+		return err
+	}
+	// Same spirit as benchjson -compare: latency gated loosely because
+	// machines vary, throughput must not halve.
+	regs := CompareRunReports(base, rep, 500, 80)
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "obs: report gate passed against %s\n", c.ReportCompare)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "obs: REGRESSION %s\n", r)
+	}
+	return fmt.Errorf("obs: %d report regression(s) against %s", len(regs), c.ReportCompare)
+}
+
+// reportMarkdownPath derives the .md sibling of a report path
+// ("RUN_REPORT.json" → "RUN_REPORT.md").
+func reportMarkdownPath(path string) string {
+	ext := filepath.Ext(path)
+	if strings.EqualFold(ext, ".json") {
+		return path[:len(path)-len(ext)] + ".md"
+	}
+	return path + ".md"
+}
+
+// writeFileWith creates path and streams fn into it, surfacing close
+// errors exactly once.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: creating %s: %w", path, err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Sampler returns the CLI's time-series sampler (nil when sampling is
+// disabled or Start has not run).
+func (c *CLI) Sampler() *Sampler {
+	return c.sampler
+}
+
+// shutdown closes the HTTP servers and sampler (used by Stop and by
+// Start's error paths).
 func (c *CLI) shutdown() {
+	c.sampler.Stop()
+	c.sampler = nil
 	_ = c.metricsLn.Close()
 	_ = c.pprofLn.Close()
 	c.metricsLn, c.pprofLn = nil, nil

@@ -1,6 +1,9 @@
 package obs
 
-import "sync/atomic"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Histogram counts observations into fixed buckets. Bucket i counts
 // observations v with v <= Bounds[i]; one extra overflow bucket counts
@@ -97,4 +100,90 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Buckets[i] = h.counts[i].Load()
 	}
 	return s
+}
+
+// Sub returns the windowed delta s − prev: the observations that landed
+// between the two snapshots. Bounds are shared with s. When the layouts
+// disagree (a registry was rebuilt mid-run) or prev is empty, s is
+// returned unchanged; individual negative deltas clamp to zero so a
+// racy pair of snapshots cannot produce negative bucket counts.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	if len(prev.Buckets) != len(s.Buckets) || prev.Count == 0 {
+		return s
+	}
+	d := HistogramSnapshot{
+		Count:   max64(s.Count-prev.Count, 0),
+		Sum:     s.Sum - prev.Sum,
+		Bounds:  s.Bounds,
+		Buckets: make([]int64, len(s.Buckets)),
+	}
+	for i := range s.Buckets {
+		d.Buckets[i] = max64(s.Buckets[i]-prev.Buckets[i], 0)
+	}
+	return d
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution from the bucketed counts. The matched bucket is
+// interpolated log-linearly between its lower and upper bound — the
+// natural choice for the exponential layouts above, where a bucket
+// spans a constant factor and equal count mass maps to equal factor
+// steps. The first bucket has no lower bound and interpolates linearly
+// from zero; the overflow bucket has no upper bound and returns the
+// last bound (a documented underestimate). Returns 0 on an empty
+// snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if len(s.Bounds) == 0 {
+		// A bound-less histogram only has the overflow bucket; the mean is
+		// the best available point estimate.
+		return float64(s.Sum) / float64(s.Count)
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := float64(0)
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next || i == len(s.Buckets)-1 {
+			if i >= len(s.Bounds) {
+				// Overflow bucket: no upper bound to interpolate toward.
+				return float64(s.Bounds[len(s.Bounds)-1])
+			}
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			hi := float64(s.Bounds[i])
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(s.Bounds[i-1])
+			}
+			if lo > 0 && hi > lo {
+				return lo * math.Pow(hi/lo, frac)
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return float64(s.Bounds[len(s.Bounds)-1])
 }

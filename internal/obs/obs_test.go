@@ -252,7 +252,7 @@ func TestTracerJSONL(t *testing.T) {
 func TestServeEndpoints(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("served.metric").Add(7)
-	srv, err := Serve("127.0.0.1:0", reg)
+	srv, err := Serve("127.0.0.1:0", reg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type for Prometheus text exposition
+// format 0.0.4, served at /debug/metrics.prom.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName mangles a registry metric name into a Prometheus-legal one:
+// a fixed "slj_" namespace prefix, dots to underscores, and any other
+// illegal rune to underscore. Registry names are lowercase dot-case by
+// convention (enforced by the metricnames analyzer), so the mapping is
+// collision-free in practice: "stage.thin.ns" → "slj_stage_thin_ns".
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	b.WriteString("slj_")
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format
+// 0.0.4. Output is deterministic: the snapshot's slices are already
+// sorted by name and bucket bounds are ascending. Counters gain the
+// conventional _total suffix; histograms expand to cumulative
+// <name>_bucket{le="..."} series plus <name>_sum and <name>_count, with
+// the le="+Inf" bucket equal to the total count.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range s.Counters {
+		name := PromName(c.Name) + "_total"
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		name := PromName(g.Name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", name, name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		name := PromName(h.Name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			if i < len(h.Buckets) {
+				cum += h.Buckets[i]
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"%s\"} %d\n", name, strconv.FormatInt(bound, 10), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", name, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("obs: writing prometheus exposition: %w", err)
+	}
+	return nil
+}
+
+// WriteProm writes the registry's current snapshot in Prometheus text
+// exposition format. Safe on a nil registry (writes nothing).
+func (r *Registry) WriteProm(w io.Writer) error {
+	return r.Snapshot().WriteProm(w)
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPromGolden pins the exact Prometheus text exposition for a fixed
+// registry: sorted names, cumulative sorted buckets, counter _total
+// suffix, +Inf bucket equal to the count. Any format drift breaks
+// scrapers, so this is a byte-for-byte golden.
+func TestPromGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pipeline.frames").Add(12)
+	reg.Counter("dataset.clips_streamed").Add(3)
+	reg.Gauge("engine.pool_free").Set(4)
+	h := reg.Histogram("stage.thin.ns", []int64{10, 100, 1000})
+	h.Observe(5)    // bucket 0
+	h.Observe(50)   // bucket 1
+	h.Observe(50)   // bucket 1
+	h.Observe(5000) // overflow
+	reg.RegisterFunc("imaging.pool.hits", func() int64 { return 9 })
+
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE slj_dataset_clips_streamed_total counter",
+		"slj_dataset_clips_streamed_total 3",
+		"# TYPE slj_imaging_pool_hits_total counter",
+		"slj_imaging_pool_hits_total 9",
+		"# TYPE slj_pipeline_frames_total counter",
+		"slj_pipeline_frames_total 12",
+		"# TYPE slj_engine_pool_free gauge",
+		"slj_engine_pool_free 4",
+		"# TYPE slj_stage_thin_ns histogram",
+		`slj_stage_thin_ns_bucket{le="10"} 1`,
+		`slj_stage_thin_ns_bucket{le="100"} 3`,
+		`slj_stage_thin_ns_bucket{le="1000"} 3`,
+		`slj_stage_thin_ns_bucket{le="+Inf"} 4`,
+		"slj_stage_thin_ns_sum 5105",
+		"slj_stage_thin_ns_count 4",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("prometheus exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Two writes of an idle registry are byte-identical.
+	var again bytes.Buffer
+	if err := reg.WriteProm(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != buf.String() {
+		t.Error("two expositions of an idle registry differ")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"pipeline.frames":          "slj_pipeline_frames",
+		"stage.thin.ns":            "slj_stage_thin_ns",
+		"pipeline.decided.stage0":  "slj_pipeline_decided_stage0",
+		"weird-name with spaces!":  "slj_weird_name_with_spaces_",
+		"9starts.with.digit":       "slj__9starts_with_digit",
+		"already_underscored.dots": "slj_already_underscored_dots",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+// TestQuantileExact pins Quantile against hand-computed values on
+// synthetic distributions: log-linear interpolation inside interior
+// buckets, linear from zero in the first bucket, and the last bound for
+// overflow mass.
+func TestQuantileExact(t *testing.T) {
+	bounds := []int64{10, 100, 1000}
+
+	t.Run("single interior bucket", func(t *testing.T) {
+		h := NewHistogram(bounds)
+		h.Observe(50) // bucket (10,100]
+		s := h.Snapshot()
+		// All mass in one bucket spanning a 10× factor: the median sits at
+		// the geometric midpoint 10·√10, q=0 at the lower edge, q=1 at the
+		// upper edge.
+		almost(t, "q=0", s.Quantile(0), 10)
+		almost(t, "q=0.5", s.Quantile(0.5), 10*math.Sqrt(10))
+		almost(t, "q=1", s.Quantile(1), 100)
+	})
+
+	t.Run("first bucket is linear from zero", func(t *testing.T) {
+		h := NewHistogram(bounds)
+		h.Observe(3)
+		s := h.Snapshot()
+		almost(t, "q=0.5", s.Quantile(0.5), 5)
+		almost(t, "q=0.2", s.Quantile(0.2), 2)
+	})
+
+	t.Run("uniform across buckets", func(t *testing.T) {
+		h := NewHistogram(bounds)
+		h.Observe(5)   // bucket 0
+		h.Observe(50)  // bucket 1
+		h.Observe(500) // bucket 2
+		s := h.Snapshot()
+		// rank(0.5)=1.5 → halfway through bucket 1 → geometric midpoint.
+		almost(t, "q=0.5", s.Quantile(0.5), 10*math.Sqrt(10))
+		// rank(1/3)=1 → exactly the end of bucket 0 → its upper bound.
+		almost(t, "q=1/3", s.Quantile(1.0/3), 10)
+		// rank(1)=3 → end of bucket 2.
+		almost(t, "q=1", s.Quantile(1), 1000)
+		// rank(5/6)=2.5 → halfway through bucket 2.
+		almost(t, "q=5/6", s.Quantile(5.0/6), 100*math.Sqrt(10))
+	})
+
+	t.Run("overflow returns last bound", func(t *testing.T) {
+		h := NewHistogram(bounds)
+		h.Observe(5000)
+		s := h.Snapshot()
+		almost(t, "q=0.5", s.Quantile(0.5), 1000)
+		almost(t, "q=0.99", s.Quantile(0.99), 1000)
+	})
+
+	t.Run("empty and clamped", func(t *testing.T) {
+		h := NewHistogram(bounds)
+		s := h.Snapshot()
+		almost(t, "empty", s.Quantile(0.5), 0)
+		h.Observe(50)
+		s = h.Snapshot()
+		almost(t, "q<0 clamps", s.Quantile(-3), s.Quantile(0))
+		almost(t, "q>1 clamps", s.Quantile(7), s.Quantile(1))
+	})
+
+	t.Run("boundless histogram falls back to mean", func(t *testing.T) {
+		h := NewHistogram(nil)
+		h.Observe(10)
+		h.Observe(30)
+		almost(t, "mean", h.Snapshot().Quantile(0.5), 20)
+	})
+}
+
+func TestHistogramSnapshotSub(t *testing.T) {
+	h := NewHistogram([]int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	before := h.Snapshot()
+	h.Observe(50)
+	h.Observe(500)
+	after := h.Snapshot()
+
+	d := after.Sub(before)
+	if d.Count != 2 {
+		t.Errorf("delta count = %d, want 2", d.Count)
+	}
+	if d.Sum != 550 {
+		t.Errorf("delta sum = %d, want 550", d.Sum)
+	}
+	wantBuckets := []int64{0, 1, 1}
+	for i, w := range wantBuckets {
+		if d.Buckets[i] != w {
+			t.Errorf("delta bucket %d = %d, want %d", i, d.Buckets[i], w)
+		}
+	}
+	// The delta's median is the median of just the new observations.
+	almost(t, "delta q=0.25", d.Quantile(0.25), 10*math.Sqrt(10))
+
+	// Mismatched layouts and empty baselines pass the snapshot through.
+	if got := after.Sub(HistogramSnapshot{}); got.Count != after.Count {
+		t.Errorf("Sub(empty) count = %d, want %d", got.Count, after.Count)
+	}
+	other := NewHistogram([]int64{1}).Snapshot()
+	if got := after.Sub(other); got.Count != after.Count {
+		t.Errorf("Sub(mismatched) count = %d, want %d", got.Count, after.Count)
+	}
+}

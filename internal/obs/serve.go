@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
@@ -11,9 +13,11 @@ import (
 
 // Server exposes a registry (and the process profiles) over HTTP:
 //
-//	/debug/vars     — standard expvar page (includes the registry)
-//	/debug/metrics  — the registry's JSON snapshot alone
-//	/debug/pprof/*  — net/http/pprof handlers
+//	/debug/vars          — standard expvar page (includes the registry)
+//	/debug/metrics       — the registry's JSON snapshot alone
+//	/debug/metrics.prom  — Prometheus text exposition (format 0.0.4)
+//	/debug/timeseries    — the sampler's ring-buffer series as JSON
+//	/debug/pprof/*       — net/http/pprof handlers
 //
 // A dedicated mux is used so nothing leaks onto http.DefaultServeMux
 // and two servers in one process (e.g. -metrics and -pprof on separate
@@ -23,11 +27,17 @@ type Server struct {
 	ln  net.Listener
 }
 
+// ShutdownTimeout bounds how long Close waits for in-flight scrapes to
+// finish before hard-closing connections.
+const ShutdownTimeout = 5 * time.Second
+
 // Serve starts an HTTP server on addr. When reg is non-nil its snapshot
-// is served at /debug/metrics and published to expvar (so it also shows
-// under /debug/vars); pprof is always mounted. addr may use port 0 for
+// is served at /debug/metrics (JSON) and /debug/metrics.prom
+// (Prometheus) and published to expvar (so it also shows under
+// /debug/vars); when smp is non-nil its ring buffers are served at
+// /debug/timeseries; pprof is always mounted. addr may use port 0 for
 // an ephemeral port — Addr reports the bound address.
-func Serve(addr string, reg *Registry) (*Server, error) {
+func Serve(addr string, reg *Registry, smp *Sampler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
@@ -39,6 +49,16 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			_ = reg.WriteJSON(w)
+		})
+		mux.HandleFunc("/debug/metrics.prom", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", PromContentType)
+			_ = reg.WriteProm(w)
+		})
+	}
+	if smp != nil {
+		mux.HandleFunc("/debug/timeseries", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = smp.WriteJSON(w)
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -59,12 +79,22 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the server. Safe on a nil receiver.
+// Close stops the server gracefully: the listener closes immediately so
+// no new scrape can start, but requests already in flight (a Prometheus
+// scrape racing CLI.Stop, say) get up to ShutdownTimeout to finish
+// before connections are torn down. Safe on a nil receiver.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
-	if err := s.srv.Close(); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), ShutdownTimeout)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		// A scrape outlived the grace period; fall back to a hard close.
+		err = s.srv.Close()
+	}
+	if err != nil {
 		return fmt.Errorf("obs: closing server: %w", err)
 	}
 	return nil
