@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet sljcheck lint test race test-race bench bench-json bench-smoke bench-stream bench-gate bench-baseline report experiments figures fuzz clean
+.PHONY: all build vet sljcheck lint lint-hotpath test race test-race bench bench-json bench-smoke bench-stream bench-gate bench-baseline report experiments figures fuzz clean
 
 all: build lint test
 
@@ -10,12 +10,22 @@ build:
 vet:
 	go vet ./...
 
-# Project-specific analyzers (pooldiscipline, maporder, syncmisuse) —
-# see DESIGN.md §8 and `go run ./cmd/sljcheck -list`.
+# Project-specific analyzers (allocfree, maporder, metricnames, nondet,
+# pooldiscipline, syncmisuse) — see DESIGN.md §8 and §13 and
+# `go run ./cmd/sljcheck -list`. One invocation type-checks the module
+# exactly once and runs every analyzer — per-package and whole-program
+# alike — over that shared program, so adding analyzers does not add
+# load time.
 sljcheck:
 	go run ./cmd/sljcheck ./...
 
 lint: vet sljcheck
+
+# Print the current //slj:hotpath reachability set (one function per
+# line with its discovery chain) — diff it between commits to review
+# hot-path growth.
+lint-hotpath:
+	go run ./cmd/sljcheck -hotpath ./...
 
 test:
 	go test ./...
@@ -105,4 +115,4 @@ fuzz:
 	go test -fuzz FuzzReader -fuzztime 10s ./internal/video/
 
 clean:
-	rm -rf figures/ results_full.txt test_output.txt bench_output.txt smoke_data BENCH_smoke.json BENCH_gate.json metrics_snapshot.json stream_data BENCH_stream.json metrics_stream.json report_data .report_bin RUN_REPORT.json RUN_REPORT.md sljtop_once.txt
+	rm -rf figures/ results_full.txt sljcheck_findings.json test_output.txt bench_output.txt smoke_data BENCH_smoke.json BENCH_gate.json metrics_snapshot.json stream_data BENCH_stream.json metrics_stream.json report_data .report_bin RUN_REPORT.json RUN_REPORT.md sljtop_once.txt

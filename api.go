@@ -234,12 +234,14 @@ type frameScratch struct {
 // newFrameScratch acquires the arenas. They stay with the System for its
 // lifetime; a System has no Close, so they are recycled by the GC rather
 // than returned to the arena pools.
+//slj:hotpath
 func newFrameScratch() *frameScratch {
 	//slj:pool-escapes the arenas live for the owning System's lifetime
-	return &frameScratch{graph: skelgraph.GetScratch(), kp: keypoint.GetScratch()}
+	return &frameScratch{graph: skelgraph.GetScratch(), kp: keypoint.GetScratch()} //slj:alloc-ok one-time arena acquisition per System, not per frame
 }
 
 // skeletonInto returns the reused w×h rasterisation target, zeroed.
+//slj:hotpath
 func (fs *frameScratch) skeletonInto(w, h int) *imaging.Binary {
 	if fs.skeleton == nil {
 		fs.skeleton = imaging.NewBinary(w, h)
@@ -253,6 +255,7 @@ func (fs *frameScratch) skeletonInto(w, h int) *imaging.Binary {
 // the imaging pool and records sil as the new outstanding one. Only
 // extractor-owned silhouettes may pass through here — never dataset-owned
 // ground-truth masks.
+//slj:hotpath
 func (fs *frameScratch) retire(sil *imaging.Binary) {
 	if fs.prevSil != nil {
 		imaging.PutBinary(fs.prevSil)
@@ -310,13 +313,14 @@ func (s *System) SetBackground(bg *imaging.RGB) { s.extractor.SetBackground(bg) 
 // AnalyzeSilhouette runs the configured skeleton front end (Section 3 +
 // feature encoding, or the GA stick-model fit) on an already-extracted
 // silhouette.
+//slj:hotpath
 func (s *System) AnalyzeSilhouette(sil *imaging.Binary) FrameAnalysis {
 	fa := FrameAnalysis{
 		Silhouette: sil,
 		Encoding:   keypoint.Encoding{Partitions: s.opts.Partitions, Rings: s.opts.Rings},
 	}
 	if s.opts.FrontEnd == FrontEndGA {
-		return s.analyzeGA(fa, sil)
+		return s.analyzeGA(fa, sil) //slj:alloc-ok GA front end is opt-in and outside the zero-alloc contract (DESIGN.md §11 covers the skeleton path)
 	}
 	sc := s.opts.Scope
 	sc.FrameDone()
@@ -433,10 +437,11 @@ func (s *System) analyzeGA(fa FrameAnalysis, sil *imaging.Binary) FrameAnalysis 
 
 // AnalyzeFrame extracts the silhouette from an RGB frame (requires
 // SetBackground first) and runs the skeleton front end on it.
+//slj:hotpath
 func (s *System) AnalyzeFrame(frame *imaging.RGB) (FrameAnalysis, error) {
 	sil, err := s.extractor.Extract(frame)
 	if err != nil {
-		return FrameAnalysis{}, fmt.Errorf("slj: %w", err)
+		return FrameAnalysis{}, fmt.Errorf("slj: %w", err) //slj:alloc-ok cold error path, frame is rejected anyway
 	}
 	if s.scratch != nil {
 		// The silhouette must stay valid past the return (it is the

@@ -1,50 +1,85 @@
 // Command sljcheck is the project's static-analysis multichecker. It
-// runs the four invariant analyzers — pooldiscipline, maporder,
-// syncmisuse, and metricnames (see DESIGN.md §8) — over the module's
-// packages and exits non-zero if any finding survives.
+// runs the six invariant analyzers — pooldiscipline, maporder,
+// syncmisuse, metricnames, nondet, and the whole-program allocfree (see
+// DESIGN.md §8 and §13) — over the module's packages and exits non-zero
+// if any finding survives.
 //
 // Usage:
 //
-//	go run ./cmd/sljcheck [-run name,name] [package patterns]
+//	go run ./cmd/sljcheck [-run name,name] [-json] [-github] [package patterns]
 //	go run ./cmd/sljcheck -metric-inventory [package patterns]
+//	go run ./cmd/sljcheck -hotpath [package patterns]
 //
-// Patterns default to ./... relative to the enclosing module. Findings
-// print as file:line:col: analyzer: message. Intentional violations are
-// suppressed in source with //slj:<annotation> comments; each analyzer's
-// package doc lists its annotation.
+// Patterns default to ./... relative to the enclosing module. The
+// loader type-checks the requested packages (and their module-local
+// dependency closure) exactly once as one program; every analyzer —
+// per-package and whole-program alike — runs over that shared result.
+// Findings print as file:line:col: analyzer: message, with positions
+// module-root-relative regardless of the invocation directory.
+//
+// -json switches the report to a machine-readable JSON array of
+// {File, Line, Col, Analyzer, Message, Chain} objects; -github
+// additionally emits GitHub Actions ::error workflow annotations on
+// stderr so findings surface inline in pull-request diffs.
+//
+// -hotpath skips analysis and prints the current //slj:hotpath
+// reachability set — one function per line with its discovery chain —
+// so reviewers can diff hot-path growth between commits.
 //
 // -metric-inventory skips analysis and instead prints every metric
 // registration site as a markdown table — the source of the metrics
 // reference in DESIGN.md §12.
+//
+// Intentional violations are suppressed in source with //slj:<annotation>
+// comments; each analyzer's package doc lists its annotation.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/ast"
 	"os"
-	"path/filepath"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/allocfree"
+	"repro/internal/analysis/callgraph"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/metricnames"
+	"repro/internal/analysis/nondet"
 	"repro/internal/analysis/pooldiscipline"
 	"repro/internal/analysis/syncmisuse"
 )
 
 var all = []*analysis.Analyzer{
+	allocfree.Analyzer,
 	maporder.Analyzer,
 	metricnames.Analyzer,
+	nondet.Analyzer,
 	pooldiscipline.Analyzer,
 	syncmisuse.Analyzer,
+}
+
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Chain    []string `json:"chain,omitempty"`
 }
 
 func main() {
 	runList := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations on stderr")
+	hotpath := flag.Bool("hotpath", false, "print the //slj:hotpath reachability set and exit")
 	inventory := flag.Bool("metric-inventory", false, "print every metric registration site as a markdown table and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: sljcheck [-run name,name] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sljcheck [-run name,name] [-json] [-github] [packages]\n\nanalyzers:\n")
 		for _, a := range all {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
 		}
@@ -86,46 +121,102 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sljcheck:", err)
 		os.Exit(2)
 	}
-	pkgs, err := loader.Load(patterns...)
-	if err != nil {
+	if _, err := loader.Load(patterns...); err != nil {
 		fmt.Fprintln(os.Stderr, "sljcheck:", err)
 		os.Exit(2)
 	}
+	// Whole-program analyzers must see dependency packages the patterns
+	// didn't name, so hand every fully loaded package to the run.
+	pkgs := loader.FullPackages()
 
-	wd, _ := os.Getwd()
 	if *inventory {
 		fmt.Println("| Name | Kind | Registered at |")
 		fmt.Println("|---|---|---|")
 		for _, s := range metricnames.Inventory(pkgs) {
-			site := s.Pos.Filename
-			if wd != "" {
-				if rel, err := filepath.Rel(wd, site); err == nil && !strings.HasPrefix(rel, "..") {
-					site = rel
-				}
-			}
 			name := s.Name
 			if !s.Literal {
 				name = "(dynamic) `" + name + "`"
 			} else {
 				name = "`" + name + "`"
 			}
-			fmt.Printf("| %s | %s | %s:%d |\n", name, s.Kind, site, s.Pos.Line)
+			fmt.Printf("| %s | %s | %s:%d |\n", name, s.Kind, s.Pos.Filename, s.Pos.Line)
 		}
 		return
 	}
 
+	if *hotpath {
+		printHotpath(pkgs)
+		return
+	}
+
 	diags := analysis.Run(pkgs, analyzers)
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if wd != "" {
-			if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
-			}
+	switch {
+	case *jsonOut:
+		findings := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, finding{
+				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message, Chain: d.Chain,
+			})
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "sljcheck:", err)
+			os.Exit(2)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if *github {
+		for _, d := range diags {
+			// ::error annotations must be single-line; the message already is.
+			fmt.Fprintf(os.Stderr, "::error file=%s,line=%d,col=%d,title=sljcheck %s::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, escapeGitHub(d.Message))
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "sljcheck: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// printHotpath lists every function reachable from a //slj:hotpath root
+// under the allocfree traversal policy, one line each with the discovery
+// chain — the reviewable hot-path surface.
+func printHotpath(pkgs []*analysis.Package) {
+	prog := analysis.NewProgram(pkgs)
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		files = append(files, pkg.Syntax...)
+	}
+	pass := &analysis.Pass{Fset: prog.Fset, Files: files, Info: prog.Info, Program: prog}
+	g, roots, parents := allocfree.HotPath(pass)
+	if len(roots) == 0 {
+		fmt.Println("no //slj:hotpath roots")
+		return
+	}
+	for _, n := range g.Nodes() {
+		if n.External() {
+			continue
+		}
+		if _, ok := parents[n]; !ok {
+			continue
+		}
+		chain := callgraph.Chain(parents, n)
+		if len(chain) <= 1 {
+			fmt.Printf("%s\t(root)\n", n.Name())
+			continue
+		}
+		fmt.Printf("%s\tvia %s\n", n.Name(), strings.Join(chain[:len(chain)-1], " → "))
+	}
+}
+
+// escapeGitHub encodes the characters the workflow-command grammar
+// reserves in annotation messages.
+func escapeGitHub(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
 }

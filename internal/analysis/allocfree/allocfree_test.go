@@ -1,0 +1,19 @@
+package allocfree
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+)
+
+// TestAllocFree exercises the whole-program analyzer over a two-package
+// fixture: hot.Root is the sole //slj:hotpath root, and the sink package
+// supplies one of each flagged construct — append regrowth, closure
+// capture, interface boxing, an external (unanalyzed) callee, a
+// goroutine launch, an unnarrowed func-value call, and a reason-less
+// suppression — each reported with the hot.Root→… chain, alongside the
+// disciplined idioms (reslice append, arena self-append, //slj:dyncall
+// narrowing, reasoned alloc-ok) that must stay silent.
+func TestAllocFree(t *testing.T) {
+	atest.RunPackages(t, "testdata", []string{"hot"}, Analyzer)
+}

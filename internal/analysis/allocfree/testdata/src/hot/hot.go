@@ -1,0 +1,32 @@
+// Package hot is the root package of the allocfree cross-package
+// fixture: Root is the single //slj:hotpath root, and every sink in the
+// imported sink package must be reported with the hot.Root→… chain.
+package hot
+
+import "sink"
+
+//slj:hotpath
+func Root(n int) int {
+	buf := sink.Buffer()
+	buf = sink.Grow(buf, n)
+	buf = sink.Reslice(buf, n)
+	sink.Capture(n)
+	sink.Box(n)
+	sink.Printer(n)
+	sink.Spawn()
+	sink.UseArena(n)
+	_ = sink.Apply(sink.Double, n)
+	_ = sink.Bad(sink.Double, n)
+	_ = sink.Sloppy()
+	return len(buf)
+}
+
+// Cold is NOT annotated and NOT reachable from Root: nothing in it is
+// reported, however allocation-happy it is.
+func Cold() []int {
+	out := []int{}
+	for i := 0; i < 10; i++ {
+		out = append(out, i)
+	}
+	return out
+}

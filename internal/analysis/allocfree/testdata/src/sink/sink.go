@@ -1,0 +1,98 @@
+// Package sink holds the allocation constructs the allocfree fixture
+// exercises; everything here is reachable only through hot.Root.
+package sink
+
+import "fmt"
+
+// Buffer returns a frame-lifetime scratch slice; the allocation is an
+// accepted, amortised setup cost.
+func Buffer() []int {
+	return make([]int, 0, 4) //slj:alloc-ok arena setup, amortised across frames
+}
+
+// Grow violates capacity discipline: the destination is a plain
+// parameter with no visible reslice or sized make.
+func Grow(buf []int, n int) []int {
+	for i := 0; i < n; i++ {
+		buf = append(buf, i) // want "append to buf may grow the backing array .*hot.Root → sink.Grow"
+	}
+	return buf
+}
+
+// Reslice follows the discipline: the destination local is defined from
+// a reslice of the caller's buffer.
+func Reslice(buf []int, n int) []int {
+	out := buf[:0]
+	for i := 0; i < n && i < cap(out); i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+var sinkFn func() int
+
+// Capture builds a closure over its parameter.
+func Capture(n int) {
+	sinkFn = func() int { return n } // want "closure captures n and allocates .*hot.Root → sink.Capture"
+}
+
+// Logger is the boxing target interface.
+type Logger interface{ Log(v any) }
+
+type nopLogger struct{}
+
+func (nopLogger) Log(v any) {}
+
+// Box boxes twice: the concrete logger into Logger, and the int
+// argument into Log's any parameter.
+func Box(n int) {
+	var l Logger = nopLogger{} // want "declaration boxes sink.nopLogger into interface sink.Logger"
+	l.Log(n)                   // want "argument n boxes int into interface .*hot.Root → sink.Box"
+}
+
+// Printer calls into the standard library: fmt's body is outside the
+// analyzed program (and its variadic ...any boxes the argument).
+func Printer(n int) {
+	fmt.Println(n) // want "call into fmt.Println, whose body is outside the analyzed program .*hot.Root → sink.Printer" "argument n boxes int into interface"
+}
+
+// Spawn launches a goroutine from the hot path.
+func Spawn() {
+	go worker() // want "go statement launches a goroutine"
+}
+
+func worker() {}
+
+// Apply narrows its dynamic call, so the analyzer follows the edge to
+// Double instead of flagging the site.
+func Apply(f func(int) int, n int) int {
+	//slj:dyncall sink.Double
+	return f(n)
+}
+
+// Bad leaves the func-value call unnarrowed.
+func Bad(f func(int) int, n int) int {
+	return f(n) // want "dynamic call through a func value defeats static analysis"
+}
+
+func Double(n int) int { return n * 2 }
+
+// Sloppy suppresses without a reason, which is itself a finding.
+func Sloppy() []byte {
+	//slj:alloc-ok
+	return make([]byte, 8) // want "//slj:alloc-ok must carry a reason"
+}
+
+// Arena demonstrates the self-append arena-slot idiom.
+type Arena struct{ Nodes []int }
+
+func (a *Arena) Push(n int) {
+	a.Nodes = append(a.Nodes, n)
+}
+
+var arena Arena
+
+// UseArena routes Root into the method so (*Arena).Push is scanned.
+func UseArena(n int) {
+	arena.Push(n)
+}

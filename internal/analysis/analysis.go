@@ -18,8 +18,22 @@
 //     state without an index-disjoint or synchronised pattern.
 //   - metricnames: obs.Registry metric names are lowercase dot-case and
 //     registered from exactly one call site.
+//   - nondet: no wall-clock, global math/rand, or environment reads in
+//     the deterministic DBN/extract/dataset pipeline.
+//   - allocfree: nothing reachable from a //slj:hotpath root heap-
+//     allocates (the zero-allocation per-frame contract of DESIGN.md §11,
+//     proven statically via the interprocedural call graph of the sibling
+//     callgraph package).
 //
-// See DESIGN.md §8 for the invariant catalogue and annotation grammar.
+// Analyzers come in two shapes: per-package (Run) and whole-program
+// (RunProgram), the latter seeing every loaded package at once through a
+// Program. The Loader type-checks the module as one program — shared
+// token.FileSet, shared types.Info, one *types.Package per import path —
+// so cross-package object identity holds and a whole-program analyzer can
+// chase a call from any package into any other.
+//
+// See DESIGN.md §8 and §13 for the invariant catalogue and annotation
+// grammar.
 package analysis
 
 import (
@@ -31,8 +45,11 @@ import (
 	"strings"
 )
 
-// Analyzer describes one static check. Run inspects a fully type-checked
-// package via the Pass and reports findings through Pass.Report.
+// Analyzer describes one static check. Exactly one of Run or RunProgram
+// must be set: Run inspects one fully type-checked package at a time via
+// its Pass; RunProgram runs once over the whole loaded program (the Pass
+// then carries every file of every package, Pass.Program is non-nil, and
+// Pass.Pkg is nil).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and -run filters.
 	Name string
@@ -40,17 +57,32 @@ type Analyzer struct {
 	Doc string
 	// Run executes the check over one package.
 	Run func(*Pass) error
+	// RunProgram executes the check once over all packages.
+	RunProgram func(*Pass) error
 }
 
-// Pass carries one type-checked package through one analyzer.
+// Program is the whole set of packages one Loader produced, handed to
+// RunProgram analyzers. All packages share one FileSet and one
+// types.Info (see Loader), so types.Object identity holds across the
+// package list.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	Info     *types.Info
+}
+
+// Pass carries one type-checked package (or, for RunProgram analyzers,
+// the whole program) through one analyzer.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Program is non-nil for RunProgram analyzers.
+	Program *Program
 
-	annots map[annotKey]bool // lazily built //slj: annotation index
+	annots map[annotKey]string // lazily built //slj: annotation index
 	report func(Diagnostic)
 }
 
@@ -59,6 +91,10 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Chain is the root→sink call chain for interprocedural findings
+	// (empty for intra-package ones). Chain[0] is the annotated hot-path
+	// root, the last element the function containing Pos.
+	Chain []string `json:",omitempty"`
 }
 
 func (d Diagnostic) String() string {
@@ -74,6 +110,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportChain records an interprocedural finding at pos carrying the
+// root→sink call chain that makes it reachable.
+func (p *Pass) ReportChain(pos token.Pos, chain []string, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+	})
+}
+
 // TypeOf returns the type of e, or nil when unknown.
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
@@ -83,6 +130,17 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 		return o
 	}
 	return nil
+}
+
+// NewProgram bundles packages from one Loader into a Program. The
+// packages' shared FileSet/Info become the program's.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{Packages: pkgs}
+	if len(pkgs) > 0 {
+		prog.Fset = pkgs[0].Fset
+		prog.Info = pkgs[0].Info
+	}
+	return prog
 }
 
 // annotKey addresses an //slj: annotation by file and line.
@@ -101,8 +159,18 @@ const AnnotationPrefix = "//slj:"
 // Annotated reports whether an //slj:<name> comment covers pos: the
 // comment sits on the same line as pos or on the line immediately above.
 func (p *Pass) Annotated(pos token.Pos, name string) bool {
+	_, ok := p.Annotation(pos, name)
+	return ok
+}
+
+// Annotation is Annotated plus the annotation's free-form argument text:
+// for "//slj:alloc-ok cold error path" covering pos it returns
+// ("cold error path", true). An annotation present with no argument
+// returns ("", true) — analyzers that require a rationale (allocfree)
+// treat that as its own finding.
+func (p *Pass) Annotation(pos token.Pos, name string) (string, bool) {
 	if p.annots == nil {
-		p.annots = map[annotKey]bool{}
+		p.annots = map[annotKey]string{}
 		for _, f := range p.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
@@ -110,27 +178,43 @@ func (p *Pass) Annotated(pos token.Pos, name string) bool {
 					if !ok {
 						continue
 					}
-					// Keep only the annotation word; anything after a space
-					// is free-form rationale.
-					word, _, _ := strings.Cut(text, " ")
+					// The annotation word ends at the first space; anything
+					// after it is the free-form argument (reason / target).
+					word, rest, _ := strings.Cut(text, " ")
+					rest = strings.TrimSpace(rest)
+					if rest == "" {
+						// Distinguish "present, no argument" from "absent"
+						// with a sentinel that TrimSpace can never produce.
+						rest = "\x00"
+					}
 					cp := p.Fset.Position(c.Pos())
 					// Cover the comment's own line and the next line.
-					p.annots[annotKey{cp.Filename, cp.Line, word}] = true
-					p.annots[annotKey{cp.Filename, cp.Line + 1, word}] = true
+					p.annots[annotKey{cp.Filename, cp.Line, word}] = rest
+					p.annots[annotKey{cp.Filename, cp.Line + 1, word}] = rest
 				}
 			}
 		}
 	}
 	at := p.Fset.Position(pos)
-	return p.annots[annotKey{at.Filename, at.Line, name}]
+	rest, ok := p.annots[annotKey{at.Filename, at.Line, name}]
+	if rest == "\x00" {
+		rest = ""
+	}
+	return rest, ok
 }
 
-// Run applies every analyzer to every package and returns the combined
-// findings sorted by position.
+// Run applies every analyzer to every package — whole-program analyzers
+// run once over all of them — and returns the combined findings sorted
+// by position. The packages must come from one Loader (they share its
+// FileSet and types.Info); the program is type-checked once and reused
+// across every analyzer.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -142,6 +226,33 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			if err := a.Run(pass); err != nil {
 				diags = append(diags, Diagnostic{
 					Pos:      token.Position{Filename: pkg.PkgPath},
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf("internal error: %v", err),
+				})
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		prog := NewProgram(pkgs)
+		allFiles := make([]*ast.File, 0, len(pkgs))
+		for _, pkg := range pkgs {
+			allFiles = append(allFiles, pkg.Syntax...)
+		}
+		for _, a := range analyzers {
+			if a.RunProgram == nil {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     prog.Fset,
+				Files:    allFiles,
+				Info:     prog.Info,
+				Program:  prog,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.RunProgram(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Pos:      token.Position{Filename: "program"},
 					Analyzer: a.Name,
 					Message:  fmt.Sprintf("internal error: %v", err),
 				})

@@ -33,6 +33,16 @@ type key struct {
 // findings against the fixture's want comments.
 func Run(t *testing.T, testdata, pkgPath string, a *analysis.Analyzer) {
 	t.Helper()
+	RunPackages(t, testdata, []string{pkgPath}, a)
+}
+
+// RunPackages is Run over several fixture packages at once, loaded as
+// one program — the shape whole-program analyzers (allocfree) need for
+// cross-package fixtures. Fixture packages pulled in only as imports of
+// the named ones are analyzed too, and may carry their own want
+// comments.
+func RunPackages(t *testing.T, testdata string, pkgPaths []string, a *analysis.Analyzer) {
+	t.Helper()
 	loader, err := analysis.NewLoader(testdata)
 	if err != nil {
 		t.Fatalf("atest: %v", err)
@@ -42,38 +52,42 @@ func Run(t *testing.T, testdata, pkgPath string, a *analysis.Analyzer) {
 		t.Fatalf("atest: %v", err)
 	}
 	loader.ExtraRoots = []string{src}
-	pkg, err := loader.LoadTarget(pkgPath, filepath.Join(src, filepath.FromSlash(pkgPath)))
-	if err != nil {
-		t.Fatalf("atest: loading fixture %s: %v", pkgPath, err)
+	for _, pkgPath := range pkgPaths {
+		if _, err := loader.LoadTarget(pkgPath, filepath.Join(src, filepath.FromSlash(pkgPath))); err != nil {
+			t.Fatalf("atest: loading fixture %s: %v", pkgPath, err)
+		}
 	}
+	pkgs := loader.FullPackages()
 
-	// Collect expectations from comments.
+	// Collect expectations from comments across every loaded fixture file.
 	wants := map[key][]*regexp.Regexp{}
-	for _, f := range pkg.Syntax {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				k := key{pos.Filename, pos.Line}
-				for _, q := range quotedRE.FindAllString(m[1], -1) {
-					pat, err := strconv.Unquote(q)
-					if err != nil {
-						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
 					}
-					re, err := regexp.Compile(pat)
-					if err != nil {
-						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					pos := pkg.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, q := range quotedRE.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants[k] = append(wants[k], re)
 					}
-					wants[k] = append(wants[k], re)
 				}
 			}
 		}
 	}
 
-	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	diags := analysis.Run(pkgs, []*analysis.Analyzer{a})
 	for _, d := range diags {
 		k := key{d.Pos.Filename, d.Pos.Line}
 		if i := matchWant(wants[k], d.Message); i >= 0 {

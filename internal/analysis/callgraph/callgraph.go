@@ -1,0 +1,535 @@
+// Package callgraph builds a conservative, cross-package call graph over
+// a whole loaded program (see analysis.Program) so that whole-program
+// analyzers — today allocfree, the static zero-allocation proof of the
+// per-frame hot path — can reason about reachability across package
+// boundaries instead of one package at a time.
+//
+// Construction is purely type-checker driven (no SSA, no pointer
+// analysis):
+//
+//   - Static calls (top-level functions, concrete method calls, generic
+//     instantiations) resolve through the shared types.Info to the callee
+//     *types.Func; because the Loader type-checks the module as one
+//     program, the callee object is the SAME object its defining package
+//     declared, so the edge crosses package boundaries for free.
+//   - Interface method calls are a sound over-approximation within the
+//     program: the site gets one edge to every method of every named type
+//     declared in the program that implements the interface (value or
+//     pointer receiver). Implementations living outside the loaded
+//     program (e.g. a stdlib type satisfying a module interface) are
+//     invisible — the documented soundness caveat.
+//   - Func-value calls (calls through variables, fields, parameters or
+//     results of func type) get over-approximated edges to every program
+//     function with an identical receiver-stripped signature. That set is
+//     often uselessly wide, which is what //slj:dyncall narrowing is for.
+//   - A //slj:dyncall <target>[,<target>...] annotation on (or directly
+//     above) a dynamic call site REPLACES the over-approximation with
+//     edges to exactly the named targets; targets match by suffix of the
+//     callee's full name ("skelgraph.Build", "(*Graph).Prune", "Build").
+//
+// Calls to functions whose bodies the program does not contain (GOROOT
+// packages, assembly) land on External nodes, so analyzers can tell
+// "analyzed and clean" apart from "not analyzable".
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Kind classifies one call edge.
+type Kind int
+
+// Edge kinds.
+const (
+	// Static is a direct call whose callee the type checker resolved.
+	Static Kind = iota
+	// Interface is one over-approximated edge from an interface method
+	// call site to a program method implementing it.
+	Interface
+	// FuncValue is one over-approximated edge from a call through a func
+	// value to a signature-identical program function.
+	FuncValue
+	// Narrowed is an edge a //slj:dyncall annotation declared explicitly,
+	// replacing the site's over-approximation.
+	Narrowed
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case Interface:
+		return "interface"
+	case FuncValue:
+		return "funcvalue"
+	case Narrowed:
+		return "narrowed"
+	}
+	return "unknown"
+}
+
+// Node is one function in the graph.
+type Node struct {
+	// Func is the declared (origin) function object.
+	Func *types.Func
+	// Decl is the function's declaration; nil for External nodes.
+	Decl *ast.FuncDecl
+	// Pkg is the program package declaring the function; nil for
+	// External nodes.
+	Pkg *analysis.Package
+	// Out and In are the node's call edges.
+	Out []*Edge
+	In  []*Edge
+}
+
+// External reports whether the function's body is outside the analyzed
+// program (stdlib, assembly).
+func (n *Node) External() bool { return n.Decl == nil }
+
+// Name returns the function's full name, e.g.
+// "repro/internal/skelgraph.Build" or "(*repro/internal/skelgraph.Graph).Prune".
+func (n *Node) Name() string { return n.Func.FullName() }
+
+// Edge is one call: Caller invokes Callee at Site.
+type Edge struct {
+	Caller *Node
+	Callee *Node
+	// Site is the call expression (nil only for synthetic edges).
+	Site *ast.CallExpr
+	Kind Kind
+}
+
+// DynSite is one dynamic (interface or func-value) call site, recorded
+// so analyzers can enforce their own policy on unresolved dispatch.
+type DynSite struct {
+	Caller *Node
+	Call   *ast.CallExpr
+	// Kind is Interface or FuncValue.
+	Kind Kind
+	// Narrowed is true when a //slj:dyncall annotation replaced the
+	// over-approximation; Unmatched lists annotation targets that matched
+	// no program function (an annotation bug worth surfacing).
+	Narrowed  bool
+	Unmatched []string
+}
+
+// Graph is the program call graph.
+type Graph struct {
+	Prog  *analysis.Program
+	nodes map[*types.Func]*Node
+	// Sites lists every dynamic call site in the program.
+	Sites []*DynSite
+	// BySite indexes edges by their call expression; SiteDyn indexes the
+	// dynamic-site record, when the call is one.
+	BySite  map[*ast.CallExpr][]*Edge
+	SiteDyn map[*ast.CallExpr]*DynSite
+}
+
+// Build constructs the call graph for prog. annot reports //slj:
+// annotations covering a position — pass (*analysis.Pass).Annotation;
+// a nil annot disables //slj:dyncall narrowing.
+func Build(prog *analysis.Program, annot func(pos token.Pos, name string) (string, bool)) *Graph {
+	g := &Graph{
+		Prog:    prog,
+		nodes:   map[*types.Func]*Node{},
+		BySite:  map[*ast.CallExpr][]*Edge{},
+		SiteDyn: map[*ast.CallExpr]*DynSite{},
+	}
+
+	// Pass 1: one node per declared function/method.
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Syntax {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := prog.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[origin(obj)] = &Node{Func: origin(obj), Decl: fd, Pkg: pkg}
+			}
+		}
+	}
+
+	// Pass 2: edges from every call expression in every body.
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Syntax {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := prog.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				caller := g.nodes[origin(obj)]
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					g.addCall(caller, call, annot)
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+// origin maps an instantiated generic function/method back to its
+// declared object, which is what Defs holds.
+func origin(f *types.Func) *types.Func { return f.Origin() }
+
+// addCall classifies one call site and appends its edges.
+func (g *Graph) addCall(caller *Node, call *ast.CallExpr, annot func(token.Pos, string) (string, bool)) {
+	info := g.Prog.Info
+	fun := ast.Unparen(call.Fun)
+	// Unwrap explicit generic instantiation: f[T](...) / f[T1, T2](...).
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		if _, isFunc := info.TypeOf(idx.X).(*types.Signature); isFunc {
+			fun = ast.Unparen(idx.X)
+		}
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(idx.X)
+	}
+
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fn].(type) {
+		case *types.Func:
+			g.edge(caller, origin(obj), call, Static)
+		case *types.Builtin, *types.TypeName, nil:
+			// Builtins and conversions are not calls in the graph sense.
+		default:
+			// A variable of func type: dynamic.
+			g.dynamic(caller, call, FuncValue, annot)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok && sel.Kind() == types.MethodVal {
+			mf := origin(sel.Obj().(*types.Func))
+			if _, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
+				g.interfaceCall(caller, call, sel.Recv(), mf, annot)
+				return
+			}
+			g.edge(caller, mf, call, Static)
+			return
+		}
+		// Package-qualified name or struct field of func type.
+		switch obj := info.Uses[fn.Sel].(type) {
+		case *types.Func:
+			g.edge(caller, origin(obj), call, Static)
+		case *types.TypeName, *types.Builtin, nil:
+			// Conversion.
+		default:
+			g.dynamic(caller, call, FuncValue, annot)
+		}
+	case *ast.FuncLit:
+		// Immediately invoked literal: its body already belongs to the
+		// enclosing function's AST walk — no edge needed.
+	default:
+		if _, isSig := info.TypeOf(call.Fun).(*types.Signature); isSig {
+			g.dynamic(caller, call, FuncValue, annot)
+		}
+		// Anything else (conversion via parenthesised type, etc.): skip.
+	}
+}
+
+// edge appends one resolved edge, creating an External node when the
+// callee has no body in the program.
+func (g *Graph) edge(caller *Node, callee *types.Func, site *ast.CallExpr, kind Kind) {
+	cn, ok := g.nodes[callee]
+	if !ok {
+		cn = &Node{Func: callee}
+		g.nodes[callee] = cn
+	}
+	e := &Edge{Caller: caller, Callee: cn, Site: site, Kind: kind}
+	caller.Out = append(caller.Out, e)
+	cn.In = append(cn.In, e)
+	if site != nil {
+		g.BySite[site] = append(g.BySite[site], e)
+	}
+}
+
+// interfaceCall over-approximates an interface method call: one edge to
+// every program method implementing the interface, unless //slj:dyncall
+// narrows the site.
+func (g *Graph) interfaceCall(caller *Node, call *ast.CallExpr, recv types.Type, mf *types.Func, annot func(token.Pos, string) (string, bool)) {
+	if g.narrow(caller, call, Interface, annot) {
+		return
+	}
+	site := &DynSite{Caller: caller, Call: call, Kind: Interface}
+	g.Sites = append(g.Sites, site)
+	g.SiteDyn[call] = site
+
+	iface, _ := recv.Underlying().(*types.Interface)
+	if iface == nil {
+		return
+	}
+	name := mf.Name()
+	for _, pkg := range g.Prog.Packages {
+		scope := pkg.Types.Scope()
+		for _, tn := range scope.Names() {
+			obj, ok := scope.Lookup(tn).(*types.TypeName)
+			if !ok || obj.IsAlias() {
+				continue
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(named) {
+				continue
+			}
+			ptr := types.NewPointer(named)
+			if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+				continue
+			}
+			m, _, _ := types.LookupFieldOrMethod(ptr, true, pkg.Types, name)
+			fn, ok := m.(*types.Func)
+			if !ok {
+				continue
+			}
+			g.edge(caller, origin(fn), call, Interface)
+		}
+	}
+}
+
+// dynamic records a func-value call site and its signature-identical
+// over-approximation, unless //slj:dyncall narrows it.
+func (g *Graph) dynamic(caller *Node, call *ast.CallExpr, kind Kind, annot func(token.Pos, string) (string, bool)) {
+	if g.narrow(caller, call, kind, annot) {
+		return
+	}
+	site := &DynSite{Caller: caller, Call: call, Kind: kind}
+	g.Sites = append(g.Sites, site)
+	g.SiteDyn[call] = site
+
+	sig, _ := g.Prog.Info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for _, n := range g.nodes {
+		if n.External() {
+			continue
+		}
+		nsig, ok := n.Func.Type().(*types.Signature)
+		if !ok || !sameSignature(sig, nsig) {
+			continue
+		}
+		g.edge(caller, n.Func, call, FuncValue)
+	}
+}
+
+// narrow applies a //slj:dyncall annotation covering the call site. It
+// returns true when an annotation was present (edges were added for each
+// named target; unmatched targets are recorded on the DynSite).
+func (g *Graph) narrow(caller *Node, call *ast.CallExpr, kind Kind, annot func(token.Pos, string) (string, bool)) bool {
+	if annot == nil {
+		return false
+	}
+	arg, ok := annot(call.Pos(), "dyncall")
+	if !ok {
+		return false
+	}
+	site := &DynSite{Caller: caller, Call: call, Kind: kind, Narrowed: true}
+	g.Sites = append(g.Sites, site)
+	g.SiteDyn[call] = site
+	for _, target := range strings.FieldsFunc(arg, func(r rune) bool { return r == ',' || r == ' ' }) {
+		matched := false
+		for _, n := range g.FuncsNamed(target) {
+			g.edge(caller, n.Func, call, Narrowed)
+			matched = true
+		}
+		if !matched {
+			site.Unmatched = append(site.Unmatched, target)
+		}
+	}
+	return true
+}
+
+// sameSignature compares receiver-stripped signatures.
+func sameSignature(a, b *types.Signature) bool {
+	return a.Variadic() == b.Variadic() &&
+		types.Identical(a.Params(), b.Params()) &&
+		types.Identical(a.Results(), b.Results())
+}
+
+// Node returns the graph node for f (or its generic origin), or nil.
+func (g *Graph) Node(f *types.Func) *Node {
+	if f == nil {
+		return nil
+	}
+	return g.nodes[origin(f)]
+}
+
+// Nodes returns every node sorted by full name (externals included).
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// FuncsNamed returns program nodes matching target under any of the
+// accepted spellings: the full name, the bare function name, and — for
+// methods — "Type.Method", "(Type).Method", "(*Type).Method", each
+// optionally prefixed with the declaring package's base name
+// ("skelgraph.Build", "skelgraph.(*Graph).Prune").
+func (g *Graph) FuncsNamed(target string) []*Node {
+	var out []*Node
+	for _, n := range g.nodes {
+		if n.External() {
+			continue
+		}
+		for _, alias := range nodeAliases(n) {
+			if alias == target {
+				out = append(out, n)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// nodeAliases lists the spellings FuncsNamed accepts for one node.
+func nodeAliases(n *Node) []string {
+	f := n.Func
+	aliases := []string{f.FullName(), f.Name()}
+	pkgBase := ""
+	if f.Pkg() != nil {
+		pkgBase = pathBase(f.Pkg().Path())
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		if pkgBase != "" {
+			aliases = append(aliases, pkgBase+"."+f.Name())
+		}
+		return aliases
+	}
+	t := sig.Recv().Type()
+	star := ""
+	if p, ok := t.(*types.Pointer); ok {
+		t, star = p.Elem(), "*"
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return aliases
+	}
+	tn := named.Obj().Name()
+	forms := []string{
+		tn + "." + f.Name(),
+		"(" + star + tn + ")." + f.Name(),
+	}
+	for _, form := range forms {
+		aliases = append(aliases, form)
+		if pkgBase != "" {
+			aliases = append(aliases, pkgBase+"."+form)
+		}
+	}
+	return aliases
+}
+
+// pathBase is path.Base for import paths (always slash-separated).
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// Reachable walks the graph from roots following edges follow admits
+// (nil admits every edge) and returns the visited set, roots included.
+func (g *Graph) Reachable(roots []*Node, follow func(*Edge) bool) map[*Node]bool {
+	seen := map[*Node]bool{}
+	var queue []*Node
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if follow != nil && !follow(e) {
+				continue
+			}
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// Parents runs a breadth-first search from roots (following edges follow
+// admits) and returns each visited node's discovering edge — nil for the
+// roots themselves. Chain() turns the result into printable root→sink
+// paths. BFS order is made deterministic by visiting each node's out
+// edges in source order and the roots in the given order.
+func (g *Graph) Parents(roots []*Node, follow func(*Edge) bool) map[*Node]*Edge {
+	parents := map[*Node]*Edge{}
+	var queue []*Node
+	for _, r := range roots {
+		if r == nil {
+			continue
+		}
+		if _, ok := parents[r]; !ok {
+			parents[r] = nil
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if follow != nil && !follow(e) {
+				continue
+			}
+			if _, ok := parents[e.Callee]; !ok {
+				parents[e.Callee] = e
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return parents
+}
+
+// Chain returns the shortest discovered root→…→n call chain of full
+// function names, using a Parents result. Returns nil when n was not
+// reached.
+func Chain(parents map[*Node]*Edge, n *Node) []string {
+	if _, ok := parents[n]; !ok {
+		return nil
+	}
+	var rev []string
+	for cur := n; ; {
+		rev = append(rev, cur.Name())
+		e := parents[cur]
+		if e == nil {
+			break
+		}
+		cur = e.Caller
+	}
+	out := make([]string, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+// Package app is the callgraph fixture's root package.
+package app
+
+import "lib"
+
+type Speaker interface{ Speak() string }
+
+type Dog struct{}
+
+func (Dog) Speak() string { return "woof" }
+
+// Main mixes a static cross-package call with interface dispatch.
+func Main(s Speaker) string {
+	lib.Helper()
+	return s.Speak()
+}
+
+// Run calls through an unnarrowed func value.
+func Run(f func(int) int, n int) int {
+	return f(n)
+}
+
+// Narrow declares its func-value target explicitly.
+func Narrow(f func(int) int, n int) int {
+	//slj:dyncall lib.Twice
+	return f(n)
+}
+
+// BadNarrow names a target that does not exist.
+func BadNarrow(f func(int) int, n int) int {
+	//slj:dyncall lib.NoSuchFunc
+	return f(n)
+}

@@ -1,0 +1,12 @@
+// Package lib supplies cross-package callees for the callgraph fixture.
+package lib
+
+func Helper() {}
+
+type Cat struct{}
+
+func (Cat) Speak() string { return "meow" }
+
+func Twice(n int) int { return n * 2 }
+
+func Thrice(n int) int { return n * 3 }

@@ -20,15 +20,26 @@ type Package struct {
 	Fset    *token.FileSet
 	Syntax  []*ast.File
 	Types   *types.Package
-	Info    *types.Info
+	// Info is the loader's SHARED types.Info: every fully loaded package
+	// of one Loader records its resolutions into the same maps, so
+	// cross-package analyzers (callgraph, allocfree) can follow a
+	// types.Object from a call site in one package to its declaration in
+	// another with plain map lookups and pointer identity.
+	Info *types.Info
 }
 
 // Loader parses and type-checks packages from source with no tooling
 // beyond the standard library. Imports resolve in order against
 // ExtraRoots (GOPATH-style src trees, used by test fixtures), the
 // enclosing module, then GOROOT/src (with the GOROOT vendor fallback).
-// Dependency packages are checked with IgnoreFuncBodies for speed; only
-// target packages get full bodies and a populated types.Info.
+//
+// The whole module is checked as ONE program: module-local (and
+// extra-root) packages are always fully type-checked — function bodies
+// included — into a single shared types.Info, whether they are named as
+// targets or merely imported by one, and each such package is checked
+// exactly once no matter how many import paths reach it. Only GOROOT
+// dependencies are checked shallowly (IgnoreFuncBodies), since the
+// analyzers never traverse into the standard library.
 type Loader struct {
 	Fset *token.FileSet
 	// ModulePath/ModuleDir anchor module-local import resolution
@@ -36,11 +47,15 @@ type Loader struct {
 	ModulePath string
 	ModuleDir  string
 	// ExtraRoots are GOPATH-style source roots searched before the module
-	// and GOROOT; import path "a/b" resolves to <root>/a/b.
+	// and GOROOT; import path "a/b" resolves to <root>/a/b. Packages under
+	// an extra root are fully loaded, like module packages, so fixture
+	// programs exercise the same interprocedural machinery as the module.
 	ExtraRoots []string
 
-	goroot string
-	cache  map[string]*types.Package
+	goroot  string
+	info    *types.Info          // shared across every full package check
+	full    map[string]*Package  // fully loaded packages by import path
+	cache   map[string]*types.Package // shallow (GOROOT) dependency cache
 	loading map[string]bool
 }
 
@@ -80,9 +95,36 @@ func NewLoader(dir string) (*Loader, error) {
 		ModulePath: modPath,
 		ModuleDir:  modDir,
 		goroot:     build.Default.GOROOT,
-		cache:      map[string]*types.Package{},
-		loading:    map[string]bool{},
+		info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		},
+		full:    map[string]*Package{},
+		cache:   map[string]*types.Package{},
+		loading: map[string]bool{},
 	}, nil
+}
+
+// Info exposes the shared types.Info all fully loaded packages write
+// into (every Package.Info aliases it).
+func (l *Loader) Info() *types.Info { return l.info }
+
+// FullPackages returns every fully loaded package — named targets and
+// the module/extra-root dependencies pulled in by their imports — sorted
+// by import path. This is the package set a whole-program analyzer
+// should see, since reachability may pass through packages nobody named
+// on the command line.
+func (l *Loader) FullPackages() []*Package {
+	pkgs := make([]*Package, 0, len(l.full))
+	for _, pkg := range l.full {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs
 }
 
 // resolveDir maps an import path to its source directory.
@@ -110,8 +152,26 @@ func (l *Loader) resolveDir(path string) (string, error) {
 	return "", fmt.Errorf("analysis: cannot resolve import %q", path)
 }
 
+// fullLoadable reports whether dir holds source the loader must check as
+// part of the program (module-local or under an extra root) rather than
+// as a shallow GOROOT dependency.
+func (l *Loader) fullLoadable(dir string) bool {
+	if dir == l.ModuleDir || strings.HasPrefix(dir, l.ModuleDir+string(filepath.Separator)) {
+		return true
+	}
+	for _, root := range l.ExtraRoots {
+		if dir == root || strings.HasPrefix(dir, root+string(filepath.Separator)) {
+			return true
+		}
+	}
+	return false
+}
+
 // parseDir parses the buildable Go files of dir (build-tag aware, tests
-// excluded).
+// excluded). Files inside the module are registered under module-root-
+// relative names, so every diagnostic position is stable regardless of
+// the invocation directory (and directly usable in CI annotations);
+// GOROOT files keep their absolute paths.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	bp, err := build.Default.ImportDir(dir, 0)
 	if err != nil {
@@ -121,7 +181,16 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	sort.Strings(names)
 	files := make([]*ast.File, 0, len(names))
 	for _, name := range names {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		full := filepath.Join(dir, name)
+		display := full
+		if rel, err := filepath.Rel(l.ModuleDir, full); err == nil && !strings.HasPrefix(rel, "..") {
+			display = filepath.ToSlash(rel)
+		}
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.Fset, display, src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
@@ -130,10 +199,17 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	return files, nil
 }
 
-// Import implements types.Importer for dependency packages.
+// Import implements types.Importer. Module-local and extra-root packages
+// are fully loaded (so the importing package sees the SAME *types.Package
+// the package's own analysis pass uses — object identity holds across
+// package boundaries); GOROOT dependencies contribute their exported API
+// only.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
+	}
+	if pkg, ok := l.full[path]; ok {
+		return pkg.Types, nil
 	}
 	if pkg, ok := l.cache[path]; ok {
 		return pkg, nil
@@ -141,13 +217,20 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	if l.loading[path] {
 		return nil, fmt.Errorf("analysis: import cycle through %q", path)
 	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
-
 	dir, err := l.resolveDir(path)
 	if err != nil {
 		return nil, err
 	}
+	if l.fullLoadable(dir) {
+		pkg, err := l.loadFull(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+
+	l.loading[path] = true
+	defer delete(l.loading, path)
 	files, err := l.parseDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: parsing %s: %w", path, err)
@@ -170,20 +253,23 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	return pkg, nil
 }
 
-// LoadTarget fully type-checks the package in dir under the given import
-// path, with function bodies and types.Info populated.
-func (l *Loader) LoadTarget(path, dir string) (*Package, error) {
+// loadFull parses and fully type-checks one program package — bodies and
+// all — into the loader's shared types.Info, caching the result so a
+// package reached both as a named target and as a dependency of another
+// is checked exactly once.
+func (l *Loader) loadFull(path, dir string) (*Package, error) {
+	if pkg, ok := l.full[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
 	files, err := l.parseDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: parsing %s: %w", path, err)
-	}
-	info := &types.Info{
-		Types:      map[ast.Expr]types.TypeAndValue{},
-		Defs:       map[*ast.Ident]types.Object{},
-		Uses:       map[*ast.Ident]types.Object{},
-		Selections: map[*ast.SelectorExpr]*types.Selection{},
-		Implicits:  map[ast.Node]types.Object{},
-		Scopes:     map[ast.Node]*types.Scope{},
 	}
 	var errs []error
 	cfg := types.Config{
@@ -192,21 +278,34 @@ func (l *Loader) LoadTarget(path, dir string) (*Package, error) {
 		Sizes:       types.SizesFor("gc", build.Default.GOARCH),
 		Error:       func(err error) { errs = append(errs, err) },
 	}
-	tpkg, _ := cfg.Check(path, l.Fset, files, info)
+	tpkg, _ := cfg.Check(path, l.Fset, files, l.info)
 	if len(errs) > 0 {
 		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, errs[0])
 	}
 	if tpkg == nil {
 		return nil, fmt.Errorf("analysis: type-checking %s failed", path)
 	}
-	return &Package{
+	pkg := &Package{
 		PkgPath: path,
 		Dir:     dir,
 		Fset:    l.Fset,
 		Syntax:  files,
 		Types:   tpkg,
-		Info:    info,
-	}, nil
+		Info:    l.info,
+	}
+	l.full[path] = pkg
+	return pkg, nil
+}
+
+// LoadTarget fully type-checks the package in dir under the given import
+// path, with function bodies and types.Info populated. Loading the same
+// import path again returns the cached package.
+func (l *Loader) LoadTarget(path, dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadFull(path, abs)
 }
 
 // Load expands patterns ("./...", "./dir", "dir") into module packages
@@ -228,7 +327,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		if rel != "." {
 			path = l.ModulePath + "/" + filepath.ToSlash(rel)
 		}
-		pkg, err := l.LoadTarget(path, dir)
+		pkg, err := l.loadFull(path, dir)
 		if err != nil {
 			return nil, err
 		}

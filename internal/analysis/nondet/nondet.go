@@ -1,0 +1,122 @@
+// Package nondet guards the determinism contract behind model format v2
+// and the golden bit-identical tests: code in the DBN, extraction, and
+// dataset pipeline packages must not consult sources that vary between
+// runs. Flagged inside those packages:
+//
+//   - time.Now / time.Since (wall clock)
+//   - the global math/rand functions (Int, Float64, Perm, Shuffle, …) —
+//     a locally constructed, explicitly seeded *rand.Rand is fine
+//   - os.Getenv / os.LookupEnv / os.Environ (environment reads)
+//
+// A pipeline package is one whose import path contains a "dbn",
+// "extract", or "dataset" segment. `//slj:nondet-ok <reason>` on the
+// line (or the line above) records that a use is intentional — e.g. a
+// progress log timestamp that never reaches an encoded artifact.
+package nondet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Annotation is the suppression annotation honoured by this analyzer.
+const Annotation = "nondet-ok"
+
+// Analyzer flags run-to-run nondeterminism sources in pipeline packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "nondet",
+	Doc:  "check that DBN/extract/dataset pipeline code avoids wall-clock, global math/rand, and environment reads",
+	Run:  run,
+}
+
+// pipelineSegments are the import-path segments that mark a package as
+// part of the deterministic pipeline.
+var pipelineSegments = map[string]bool{
+	"dbn":     true,
+	"extract": true,
+	"dataset": true,
+}
+
+// banned maps package path → function name → what to say about it. The
+// math/rand entries are the package-level convenience functions, which
+// share the unseeded (Go ≥1.20: randomly seeded) global source; methods
+// on an explicitly constructed *rand.Rand do not match.
+var banned = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read",
+		"Since": "wall-clock read",
+	},
+	"os": {
+		"Getenv":    "environment read",
+		"LookupEnv": "environment read",
+		"Environ":   "environment read",
+	},
+	"math/rand": {
+		"Int": "global rand source", "Intn": "global rand source",
+		"Int31": "global rand source", "Int31n": "global rand source",
+		"Int63": "global rand source", "Int63n": "global rand source",
+		"Uint32": "global rand source", "Uint64": "global rand source",
+		"Float32": "global rand source", "Float64": "global rand source",
+		"NormFloat64": "global rand source", "ExpFloat64": "global rand source",
+		"Perm": "global rand source", "Shuffle": "global rand source",
+		"Seed": "global rand source",
+	},
+	"math/rand/v2": {
+		"Int": "global rand source", "IntN": "global rand source",
+		"Int32": "global rand source", "Int32N": "global rand source",
+		"Int64": "global rand source", "Int64N": "global rand source",
+		"Uint32": "global rand source", "Uint64": "global rand source",
+		"Float32": "global rand source", "Float64": "global rand source",
+		"NormFloat64": "global rand source", "ExpFloat64": "global rand source",
+		"Perm": "global rand source", "Shuffle": "global rand source",
+		"N": "global rand source",
+	},
+}
+
+// InPipeline reports whether pkgPath is part of the deterministic
+// pipeline (has a dbn/extract/dataset path segment).
+func InPipeline(pkgPath string) bool {
+	for _, seg := range strings.Split(pkgPath, "/") {
+		if pipelineSegments[seg] {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !InPipeline(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Package-level functions only: a method (e.g. (*rand.Rand).Intn
+			// on a seeded local source) has a receiver and is allowed.
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			what, ok := banned[fn.Pkg().Path()][fn.Name()]
+			if !ok {
+				return true
+			}
+			if pass.Annotated(sel.Pos(), Annotation) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s (%s) in deterministic pipeline package %s; thread the value in explicitly or annotate //slj:nondet-ok <reason>",
+				fn.Pkg().Name(), fn.Name(), what, pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

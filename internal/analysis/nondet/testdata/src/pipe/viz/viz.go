@@ -1,0 +1,12 @@
+// Package viz is outside the deterministic pipeline (no dbn/extract/
+// dataset path segment), so nondeterminism sources are fine here.
+package viz
+
+import (
+	"os"
+	"time"
+)
+
+func Stamp() (int64, string) {
+	return time.Now().UnixNano(), os.Getenv("TERM")
+}

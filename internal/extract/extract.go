@@ -106,7 +106,7 @@ type Extractor struct {
 // diffs returns the d scratch slice resized to n elements.
 func (e *Extractor) diffs(n int) []int {
 	if cap(e.d) < n {
-		e.d = make([]int, n)
+		e.d = make([]int, n) //slj:alloc-ok scratch regrow on first use or a larger frame, amortised across frames
 	}
 	e.d = e.d[:n]
 	return e.d
@@ -118,7 +118,7 @@ func (e *Extractor) check(frame *imaging.RGB) error {
 		return ErrNoBackground
 	}
 	if frame.W != e.width || frame.H != e.height {
-		return fmt.Errorf("extract: frame %dx%d does not match background %dx%d: %w",
+		return fmt.Errorf("extract: frame %dx%d does not match background %dx%d: %w", //slj:alloc-ok cold error path, mismatched frame is rejected
 			frame.W, frame.H, e.width, e.height, imaging.ErrDimensionMismatch)
 	}
 	return nil
@@ -186,7 +186,7 @@ func (e *Extractor) UpdateBackground(frame *imaging.RGB, objMask *imaging.Binary
 		return ErrNoBackground
 	}
 	if frame.W != e.width || frame.H != e.height {
-		return fmt.Errorf("extract: frame %dx%d does not match background %dx%d: %w",
+		return fmt.Errorf("extract: frame %dx%d does not match background %dx%d: %w", //slj:alloc-ok cold error path, mismatched frame is rejected
 			frame.W, frame.H, e.width, e.height, imaging.ErrDimensionMismatch)
 	}
 	if objMask != nil && (objMask.W != e.width || objMask.H != e.height) {
@@ -219,6 +219,7 @@ func (e *Extractor) UpdateBackground(frame *imaging.RGB, objMask *imaging.Binary
 
 // Extract segments the moving object in frame, returning the smoothed
 // silhouette. The frame must match the background dimensions.
+//slj:hotpath
 func (e *Extractor) Extract(frame *imaging.RGB) (*imaging.Binary, error) {
 	if err := e.check(frame); err != nil {
 		return nil, err
@@ -310,6 +311,7 @@ func (e *Extractor) extractRawInto(frame *imaging.RGB, out *imaging.Binary) {
 //
 // The result is a full-size silhouette with the ROI contents smoothed by
 // the configured post-processing.
+//slj:hotpath
 func (e *Extractor) ExtractInROI(frame *imaging.RGB, roi imaging.Rect) (*imaging.Binary, error) {
 	if err := e.check(frame); err != nil {
 		return nil, err
@@ -392,7 +394,7 @@ func (e *Extractor) Smooth(raw *imaging.Binary) *imaging.Binary {
 		step(imaging.MedianFilterBinaryInto(imaging.GetBinary(cur.W, cur.H), cur, e.opts.MedianKernel))
 	}
 	if e.opts.FillHoles {
-		step(imaging.FillHoles(cur, imaging.Connect8))
+		step(imaging.FillHoles(cur, imaging.Connect8)) //slj:alloc-ok hole filling is opt-in (off by default); its flood scratch sits outside the zero-alloc contract
 	}
 	if e.opts.KeepLargestOnly {
 		//slj:pool-escapes LargestComponentInto returns its dst; a later step (or the caller) Puts it

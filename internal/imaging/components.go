@@ -58,10 +58,10 @@ type ComponentScratch struct {
 // grabLabels returns the scratch label map resized to n zeroed entries.
 func (s *ComponentScratch) grabLabels(n int) []int32 {
 	if s == nil {
-		return make([]int32, n)
+		return make([]int32, n) //slj:alloc-ok nil-scratch fallback for one-shot callers without a ComponentScratch
 	}
 	if cap(s.labels) < n {
-		s.labels = make([]int32, n)
+		s.labels = make([]int32, n) //slj:alloc-ok scratch regrow on first use or a larger frame, amortised across frames
 	}
 	s.labels = s.labels[:n]
 	clear(s.labels)

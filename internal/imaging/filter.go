@@ -23,7 +23,7 @@ func MedianFilterBinaryInto(dst *Binary, src *Binary, k int) *Binary {
 		dst = &Binary{}
 	}
 	dst.W, dst.H = src.W, src.H
-	if n := src.W * src.H; cap(dst.Pix) < n {
+	if n := src.W * src.H; cap(dst.Pix) < n { //slj:alloc-ok dst regrow on first use or a larger frame, amortised across frames
 		dst.Pix = make([]uint8, n)
 	} else {
 		dst.Pix = dst.Pix[:n]
@@ -119,7 +119,7 @@ func BoxAverageRGBInto(dst *RGB, src *RGB, n int, sat []int64) (*RGB, []int64) {
 		dst = &RGB{}
 	}
 	dst.W, dst.H = w, h
-	if need := 3 * w * h; cap(dst.Pix) < need {
+	if need := 3 * w * h; cap(dst.Pix) < need { //slj:alloc-ok dst regrow on first use or a larger frame, amortised across frames
 		dst.Pix = make([]uint8, need)
 	} else {
 		dst.Pix = dst.Pix[:need]
@@ -130,7 +130,7 @@ func BoxAverageRGBInto(dst *RGB, src *RGB, n int, sat []int64) (*RGB, []int64) {
 	// channel-c sum over the rectangle [0..x]×[0..y].
 	sw, sh := w+1, h+1
 	if need := 3 * sw * sh; cap(sat) < need {
-		sat = make([]int64, need)
+		sat = make([]int64, need) //slj:alloc-ok summed-area scratch regrow, amortised across frames
 	} else {
 		sat = sat[:need]
 		clear(sat[:sw]) // zero top row; the fill below writes the rest

@@ -235,7 +235,7 @@ func NewBinary(w, h int) *Binary {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("imaging.NewBinary: bad dimensions %dx%d", w, h))
 	}
-	return &Binary{W: w, H: h, Pix: make([]uint8, w*h)}
+	return &Binary{W: w, H: h, Pix: make([]uint8, w*h)} //slj:alloc-ok constructor runs on skeletonInto's first frame only; steady frames take the Reset branch
 }
 
 // Reset resizes b to a zeroed w×h image, reusing the backing pixel
@@ -249,7 +249,7 @@ func (b *Binary) Reset(w, h int) {
 	b.W, b.H = w, h
 	n := w * h
 	if cap(b.Pix) < n {
-		b.Pix = make([]uint8, n)
+		b.Pix = make([]uint8, n) //slj:alloc-ok backing regrow on a larger frame, amortised across frames
 		return
 	}
 	b.Pix = b.Pix[:n]
@@ -380,7 +380,7 @@ func (m *RGB) Crop(r Rect) *RGB {
 func (m *RGB) CropInto(dst *RGB, r Rect) *RGB {
 	r = r.Intersect(m.Bounds())
 	if dst == nil {
-		dst = &RGB{}
+		dst = &RGB{} //slj:alloc-ok nil-dst fallback for one-shot callers; hot callers pass a recycled dst
 	}
 	w, h := r.Dx(), r.Dy()
 	if r.Empty() {
@@ -388,7 +388,7 @@ func (m *RGB) CropInto(dst *RGB, r Rect) *RGB {
 	}
 	dst.W, dst.H = w, h
 	if need := 3 * w * h; cap(dst.Pix) < need {
-		dst.Pix = make([]uint8, need)
+		dst.Pix = make([]uint8, need) //slj:alloc-ok dst regrow on first use or a larger crop, amortised across frames
 	} else {
 		dst.Pix = dst.Pix[:need]
 	}

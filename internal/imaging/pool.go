@@ -35,7 +35,7 @@ var (
 // capacity is too small.
 func grab(buf []uint8, n int) []uint8 {
 	if cap(buf) < n {
-		return make([]uint8, n)
+		return make([]uint8, n) //slj:alloc-ok pool-miss regrow, amortised once the pool is warm
 	}
 	buf = buf[:n]
 	clear(buf)
@@ -44,11 +44,12 @@ func grab(buf []uint8, n int) []uint8 {
 
 // GetBinary returns a zeroed w×h binary image, reusing a pooled buffer
 // when one of sufficient capacity is available. Pair with PutBinary.
+//slj:hotpath
 func GetBinary(w, h int) *Binary {
 	if w <= 0 || h <= 0 {
 		panic("imaging.GetBinary: non-positive dimensions")
 	}
-	b := binaryPool.Get().(*Binary)
+	b := binaryPool.Get().(*Binary) //slj:alloc-ok sync.Pool round trip; Get allocates only while the pool is cold
 	countGet(b.Pix != nil)
 	b.pooled = false
 	b.W, b.H = w, h
@@ -58,6 +59,7 @@ func GetBinary(w, h int) *Binary {
 
 // PutBinary returns a binary image to the pool. nil and double Puts are
 // ignored.
+//slj:hotpath
 func PutBinary(b *Binary) {
 	if b == nil {
 		return
@@ -67,16 +69,17 @@ func PutBinary(b *Binary) {
 		return
 	}
 	b.pooled = true
-	binaryPool.Put(b)
+	binaryPool.Put(b) //slj:alloc-ok sync.Pool round trip; boxing a pointer into any does not allocate
 }
 
 // GetGray returns a zeroed w×h grayscale image from the pool. Pair with
 // PutGray.
+//slj:hotpath
 func GetGray(w, h int) *Gray {
 	if w <= 0 || h <= 0 {
 		panic("imaging.GetGray: non-positive dimensions")
 	}
-	g := grayPool.Get().(*Gray)
+	g := grayPool.Get().(*Gray) //slj:alloc-ok sync.Pool round trip; Get allocates only while the pool is cold
 	countGet(g.Pix != nil)
 	g.pooled = false
 	g.W, g.H = w, h
@@ -86,6 +89,7 @@ func GetGray(w, h int) *Gray {
 
 // PutGray returns a grayscale image to the pool. nil and double Puts are
 // ignored.
+//slj:hotpath
 func PutGray(g *Gray) {
 	if g == nil {
 		return
@@ -95,16 +99,17 @@ func PutGray(g *Gray) {
 		return
 	}
 	g.pooled = true
-	grayPool.Put(g)
+	grayPool.Put(g) //slj:alloc-ok sync.Pool round trip; boxing a pointer into any does not allocate
 }
 
 // GetRGB returns a zeroed (black) w×h colour image from the pool. Pair
 // with PutRGB.
+//slj:hotpath
 func GetRGB(w, h int) *RGB {
 	if w <= 0 || h <= 0 {
 		panic("imaging.GetRGB: non-positive dimensions")
 	}
-	m := rgbPool.Get().(*RGB)
+	m := rgbPool.Get().(*RGB) //slj:alloc-ok sync.Pool round trip; Get allocates only while the pool is cold
 	countGet(m.Pix != nil)
 	m.pooled = false
 	m.W, m.H = w, h
@@ -114,6 +119,7 @@ func GetRGB(w, h int) *RGB {
 
 // PutRGB returns a colour image to the pool. nil and double Puts are
 // ignored.
+//slj:hotpath
 func PutRGB(m *RGB) {
 	if m == nil {
 		return
@@ -123,5 +129,5 @@ func PutRGB(m *RGB) {
 		return
 	}
 	m.pooled = true
-	rgbPool.Put(m)
+	rgbPool.Put(m) //slj:alloc-ok sync.Pool round trip; boxing a pointer into any does not allocate
 }

@@ -178,6 +178,7 @@ func FromGraph(g *skelgraph.Graph) (KeyPoints, error) {
 // FromGraphScratch is FromGraph with its working buffers drawn from a
 // per-worker arena; nil behaves exactly like FromGraph. The returned
 // KeyPoints value is self-contained either way.
+//slj:hotpath
 func FromGraphScratch(g *skelgraph.Graph, sc *Scratch) (KeyPoints, error) {
 	// Membership of the largest component as a node-indexed []bool — it
 	// replaced the map[int]bool this step used to allocate per frame.
@@ -320,12 +321,13 @@ const maxRadialSpan = 0.8
 // EncodeRadial computes the Figure 6 area codes plus, when rings > 0,
 // a quantised waist distance per part — the "more information" extension
 // of the paper's conclusion. rings < 0 is rejected.
+//slj:hotpath
 func EncodeRadial(kp KeyPoints, partitions, rings int) (Encoding, error) {
 	if partitions < 4 || partitions%2 != 0 {
-		return Encoding{}, fmt.Errorf("keypoint: partitions = %d, want even and >= 4", partitions)
+		return Encoding{}, fmt.Errorf("keypoint: partitions = %d, want even and >= 4", partitions) //slj:alloc-ok cold validation path, rejected before any frame work
 	}
 	if rings < 0 {
-		return Encoding{}, fmt.Errorf("keypoint: rings = %d, want >= 0", rings)
+		return Encoding{}, fmt.Errorf("keypoint: rings = %d, want >= 0", rings) //slj:alloc-ok cold validation path, rejected before any frame work
 	}
 	enc := Encoding{Partitions: partitions, Rings: rings}
 	for _, part := range partsOrder {

@@ -199,7 +199,7 @@ func pixelAdjacency(skel *imaging.Binary, sc *Scratch) (idx []int32, pts []imagi
 		sc.idx = idx
 		pts = sc.pts[:0]
 	} else {
-		idx = make([]int32, len(skel.Pix))
+		idx = make([]int32, len(skel.Pix)) //slj:alloc-ok nil-scratch fallback for one-shot callers; arena callers take grabInt32
 	}
 	for i := range idx {
 		idx[i] = -1
@@ -220,7 +220,7 @@ func pixelAdjacency(skel *imaging.Binary, sc *Scratch) (idx []int32, pts []imagi
 		adj = pixelAdj{nbr: grabInt32(sc.nbr, 8*len(pts)), deg: grabBytes(sc.deg, len(pts))}
 		sc.nbr, sc.deg = adj.nbr, adj.deg
 	} else {
-		adj = pixelAdj{nbr: make([]int32, 8*len(pts)), deg: make([]uint8, len(pts))}
+		adj = pixelAdj{nbr: make([]int32, 8*len(pts)), deg: make([]uint8, len(pts))} //slj:alloc-ok nil-scratch fallback for one-shot callers; arena callers take the grab helpers
 	}
 	for vi, p := range pts {
 		x, y := p.X, p.Y
@@ -284,7 +284,7 @@ func adjacentJunctionVertices(skel *imaging.Binary, sc *Scratch) []imaging.Point
 // quarantined here, off the no-option fast path.
 func applyOptions(o Options, opts []Option) Options {
 	for _, fn := range opts {
-		fn(&o)
+		fn(&o) //slj:alloc-ok caller-supplied option closures; the hot path passes none, so the loop body never runs
 	}
 	return o
 }
@@ -302,6 +302,7 @@ func Build(skel *imaging.Binary, opts ...Option) (*Graph, error) {
 // the graph); with a scratch the returned graph and everything reachable
 // from it live inside the arena and are valid only until the next
 // BuildScratch call on the same arena.
+//slj:hotpath
 func BuildScratch(skel *imaging.Binary, sc *Scratch, opts ...Option) (*Graph, error) {
 	o := Options{
 		RemoveAdjacentJunctions: true,
@@ -362,7 +363,7 @@ func (g *Graph) traceSegments(pts []imaging.Point, adj pixelAdj) {
 		nodeOf = grabInt32(g.scr.nodeOf, len(pts))
 		g.scr.nodeOf = nodeOf
 	} else {
-		nodeOf = make([]int32, len(pts))
+		nodeOf = make([]int32, len(pts)) //slj:alloc-ok nil-scratch fallback for one-shot callers
 	}
 	for i := range nodeOf {
 		nodeOf[i] = -1
@@ -382,7 +383,7 @@ func (g *Graph) traceSegments(pts []imaging.Point, adj pixelAdj) {
 		visited = grabBytes(g.scr.visited, len(pts))
 		g.scr.visited = visited
 	} else {
-		visited = make([]uint8, len(pts))
+		visited = make([]uint8, len(pts)) //slj:alloc-ok nil-scratch fallback for one-shot callers
 	}
 	markDir := func(a, b int32) {
 		for k, w := range adj.neighbors(a) {
@@ -517,7 +518,7 @@ func (g *Graph) addSegment(a, b int, path []imaging.Point, bridge bool) int {
 	} else {
 		g.Segments = append(g.Segments, Segment{
 			A: a, B: b, Bridge: bridge,
-			Path: append(make([]imaging.Point, 0, len(path)), path...),
+			Path: append(make([]imaging.Point, 0, len(path)), path...), //slj:alloc-ok segment-slot growth while the arena warms; steady frames reuse each slot's Path
 		})
 	}
 	g.dead = append(g.dead, false)
@@ -710,7 +711,7 @@ func (g *Graph) Compact() {
 		remap = grabInts(g.scr.remap, len(g.Segments))
 		g.scr.remap = remap
 	} else {
-		remap = make([]int, len(g.Segments))
+		remap = make([]int, len(g.Segments)) //slj:alloc-ok nil-scratch fallback for one-shot callers
 	}
 	n := 0
 	for i := range g.Segments {
@@ -803,7 +804,7 @@ func newUnionFind(n int) *unionFind {
 // when they are large enough.
 func (u *unionFind) reset(n int) *unionFind {
 	if cap(u.parent) < n {
-		u.parent = make([]int, n)
+		u.parent = make([]int, n) //slj:alloc-ok union-find regrow on first use or a larger graph, amortised across frames
 		u.size = make([]int, n)
 	}
 	u.parent = u.parent[:n]
@@ -851,7 +852,7 @@ func appendBresenham(out []imaging.Point, a, b imaging.Point) []imaging.Point {
 	err := dx + dy
 	x, y := a.X, a.Y
 	for {
-		out = append(out, imaging.Point{X: x, Y: y})
+		out = append(out, imaging.Point{X: x, Y: y}) //slj:alloc-ok appends into the caller's arena path buffer, capacity amortised across frames
 		if x == b.X && y == b.Y {
 			return out
 		}

@@ -127,11 +127,11 @@ func otherEnd(s Segment, n int) int {
 
 // appendPathTo appends s's path onto dst oriented so it ENDS at node n.
 func appendPathTo(dst []imaging.Point, s *Segment, n int) []imaging.Point {
-	if s.B == n {
+	if s.B == n { //slj:alloc-ok appends into the caller's arena path buffer, amortised across frames
 		return append(dst, s.Path...)
 	}
 	for i := len(s.Path) - 1; i >= 0; i-- {
-		dst = append(dst, s.Path[i])
+		dst = append(dst, s.Path[i]) //slj:alloc-ok appends into the caller's arena path buffer, amortised across frames
 	}
 	return dst
 }
@@ -139,11 +139,11 @@ func appendPathTo(dst []imaging.Point, s *Segment, n int) []imaging.Point {
 // appendPathFromSkip appends s's path onto dst oriented so it STARTS at
 // node n, omitting n's own pixel (the caller already emitted it).
 func appendPathFromSkip(dst []imaging.Point, s *Segment, n int) []imaging.Point {
-	if s.A == n {
+	if s.A == n { //slj:alloc-ok appends into the caller's arena path buffer, amortised across frames
 		return append(dst, s.Path[1:]...)
 	}
 	for i := len(s.Path) - 2; i >= 0; i-- {
-		dst = append(dst, s.Path[i])
+		dst = append(dst, s.Path[i]) //slj:alloc-ok appends into the caller's arena path buffer, amortised across frames
 	}
 	return dst
 }
@@ -154,7 +154,7 @@ func appendPathFromSkip(dst []imaging.Point, s *Segment, n int) []imaging.Point 
 // alias the arena and are valid only until its next path query.
 func (g *Graph) NodePath(a, b int) (nodes []int, segs []int, ok bool) {
 	if a == b {
-		return []int{a}, nil, true
+		return []int{a}, nil, true //slj:alloc-ok degenerate a == b query; per-frame path walks query distinct nodes
 	}
 	sc := g.scr
 	var prevNode, prevSeg, queue []int
@@ -165,7 +165,7 @@ func (g *Graph) NodePath(a, b int) (nodes []int, segs []int, ok bool) {
 		sc.prevSeg = prevSeg
 		queue = sc.queue[:0]
 	} else {
-		prevNode = make([]int, len(g.Nodes))
+		prevNode = make([]int, len(g.Nodes)) //slj:alloc-ok nil-scratch fallback for one-shot callers
 		prevSeg = make([]int, len(g.Nodes))
 	}
 	for i := range prevNode {
@@ -340,7 +340,7 @@ func (g *Graph) Components() [][]int {
 func (g *Graph) MarkLargestComponent(mask []bool) []bool {
 	n := len(g.Nodes)
 	if cap(mask) < n {
-		mask = make([]bool, n)
+		mask = make([]bool, n) //slj:alloc-ok mask regrow when the caller's mask is too small, amortised across frames
 	} else {
 		mask = mask[:n]
 		clear(mask)
@@ -360,7 +360,7 @@ func (g *Graph) MarkLargestComponent(mask []bool) []bool {
 			total[i] = 0
 		}
 	} else {
-		total = make([]int, n)
+		total = make([]int, n) //slj:alloc-ok nil-scratch fallback for one-shot callers
 	}
 	for si := range g.Segments {
 		if !g.dead[si] {

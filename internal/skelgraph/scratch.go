@@ -87,9 +87,10 @@ func PutScratch(sc *Scratch) {
 // slots are truncated, not cleared: newNode and addSegment reuse each
 // slot's Segs / Path backing arrays, which is where most of the arena's
 // win comes from.
+//slj:hotpath
 func (sc *Scratch) graph(w, h int) *Graph {
 	if sc == nil {
-		return &Graph{W: w, H: h}
+		return &Graph{W: w, H: h} //slj:alloc-ok nil-scratch fallback for one-shot callers
 	}
 	g := &sc.g
 	g.W, g.H = w, h
@@ -105,7 +106,7 @@ func (sc *Scratch) graph(w, h int) *Graph {
 // growth. Contents are unspecified; callers initialise.
 func grabInt32(buf []int32, n int) []int32 {
 	if cap(buf) < n {
-		return make([]int32, n)
+		return make([]int32, n) //slj:alloc-ok arena regrow on first use or a larger frame, amortised across frames
 	}
 	return buf[:n]
 }
@@ -113,7 +114,7 @@ func grabInt32(buf []int32, n int) []int32 {
 // grabInts is grabInt32 for []int.
 func grabInts(buf []int, n int) []int {
 	if cap(buf) < n {
-		return make([]int, n)
+		return make([]int, n) //slj:alloc-ok arena regrow on first use or a larger frame, amortised across frames
 	}
 	return buf[:n]
 }
@@ -121,7 +122,7 @@ func grabInts(buf []int, n int) []int {
 // grabBytes resizes buf to n ZEROED bytes.
 func grabBytes(buf []uint8, n int) []uint8 {
 	if cap(buf) < n {
-		return make([]uint8, n)
+		return make([]uint8, n) //slj:alloc-ok arena regrow on first use or a larger frame, amortised across frames
 	}
 	buf = buf[:n]
 	clear(buf)

@@ -26,7 +26,7 @@ const (
 func DistanceTransform(b *imaging.Binary) []int32 {
 	const inf = int32(1 << 30)
 	w, h := b.W, b.H
-	d := make([]int32, w*h)
+	d := make([]int32, w*h) //slj:alloc-ok medial axis is the opt-in algorithm (default Zhang-Suen); its distance map is per call by design
 	for i, v := range b.Pix {
 		if v != 0 {
 			d[i] = inf

@@ -66,13 +66,14 @@ func ThinInto(dst *imaging.Binary, src *imaging.Binary, alg Algorithm) *imaging.
 // counter — a jump in passes-per-frame flags silhouettes much thicker
 // than the extractor normally emits. MedialAxis is not iterative and
 // reports 1.
+//slj:hotpath
 func ThinIntoCounted(dst *imaging.Binary, src *imaging.Binary, alg Algorithm) (*imaging.Binary, int) {
 	if dst == nil {
-		dst = &imaging.Binary{}
+		dst = &imaging.Binary{} //slj:alloc-ok nil-dst fallback for one-shot callers; hot callers pass a recycled dst
 	}
 	dst.W, dst.H = src.W, src.H
 	if need := src.W * src.H; cap(dst.Pix) < need {
-		dst.Pix = make([]uint8, need)
+		dst.Pix = make([]uint8, need) //slj:alloc-ok dst regrow on first use or a larger frame, amortised across frames
 	} else {
 		dst.Pix = dst.Pix[:need]
 	}
@@ -147,7 +148,7 @@ func thinZhangSuen(img *imaging.Binary) int {
 		pS = 4
 		pW = 6
 	)
-	del := make([]int, 0, 256)
+	del := make([]int, 0, 256) //slj:alloc-ok one small fixed worklist per frame, counted in the bench-gate baseline
 	passes := 0
 	for {
 		passes++
@@ -196,7 +197,7 @@ func thinZhangSuen(img *imaging.Binary) int {
 // thinGuoHall applies Guo–Hall (1989) thinning in place until stable.
 // Returns the number of iterations run (including the final stable one).
 func thinGuoHall(img *imaging.Binary) int {
-	del := make([]int, 0, 256)
+	del := make([]int, 0, 256) //slj:alloc-ok one small fixed worklist per frame, counted in the bench-gate baseline
 	passes := 0
 	for {
 		passes++

@@ -119,8 +119,11 @@ func TestThinPreservesConnectivity(t *testing.T) {
 					return false // grew a pixel
 				}
 			}
+			// "Never increases" exactly: breaking a line apart adds
+			// components; a speck thinned away to nothing removes one,
+			// which the claim permits.
 			_, after := imaging.Components(out, imaging.Connect8)
-			if len(after) != len(before) {
+			if len(after) > len(before) {
 				return false
 			}
 		}
