@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet sljcheck lint lint-hotpath test race test-race bench bench-json bench-smoke bench-stream bench-gate bench-baseline report experiments figures fuzz clean
+.PHONY: all build vet sljcheck lint lint-hotpath test race test-race bench bench-json bench-smoke bench-stream bench-gate bench-baseline report health-smoke experiments figures fuzz clean
 
 all: build lint test
 
@@ -31,7 +31,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/extract/ ./internal/bayes/ ./internal/dbn/ ./internal/track/ ./internal/parallel/ .
+	go test -race -timeout 45m ./internal/extract/ ./internal/bayes/ ./internal/dbn/ ./internal/track/ ./internal/parallel/ ./internal/obs/ .
 
 # Full race sweep — every package, including the parallel engine's golden
 # tests. Slower than `race`; run before merging concurrency changes.
@@ -89,7 +89,8 @@ report:
 	go build -o .report_bin/ ./cmd/sljeval ./cmd/sljtop
 	go run ./cmd/sljgen -out report_data -train 4 -test 6
 	./.report_bin/sljeval -data report_data -workers 4 -metrics 127.0.0.1:6070 \
-		-sample-interval 100ms -report RUN_REPORT.json > /dev/null & \
+		-sample-interval 100ms -report RUN_REPORT.json \
+		-errors-out ERRORS.json -health-out HEALTH.json > /dev/null & \
 	EVAL=$$!; \
 	./.report_bin/sljtop -addr 127.0.0.1:6070 -once -connect-timeout 10s | tee sljtop_once.txt; \
 	TOP=$$?; \
@@ -99,6 +100,27 @@ report:
 	test $$TOP -eq 0 && test $$EV -eq 0
 	grep -q "stage.classify.ns" sljtop_once.txt
 	test -s RUN_REPORT.json && test -s RUN_REPORT.md
+	test -s ERRORS.json && test -s HEALTH.json
+	grep -q '"verdict"' HEALTH.json
+
+# Flight-recorder smoke: generate a corpus, corrupt one test clip, and
+# run an instrumented streaming evaluation with skip-corrupt ingest.
+# The run must finish, journal the decode failure, and report a
+# degraded health verdict with the decode class attributed — the same
+# trace ID correlating HEALTH_smoke.json and ERRORS_smoke.json.
+health-smoke:
+	go run ./cmd/sljgen -out health_data -train 2 -test 3
+	BAD=$$(ls -d health_data/test/*/ | head -1); \
+	echo "not a ppm" > $$BAD/background.ppm
+	go run ./cmd/sljeval -data health_data -stream -skip-corrupt -workers 2 \
+		-sample-interval 100ms -log health_smoke.log \
+		-errors-out ERRORS_smoke.json -health-out HEALTH_smoke.json > /dev/null
+	rm -rf health_data
+	grep -q '"verdict": "degraded"' HEALTH_smoke.json
+	grep -q '"name": "decode_errors"' HEALTH_smoke.json
+	grep -q '"class": "decode"' ERRORS_smoke.json
+	TRACE=$$(grep -o '"trace": "t[0-9]*"' ERRORS_smoke.json | head -1); \
+	test -n "$$TRACE" && grep -qF "$$TRACE" HEALTH_smoke.json
 
 # Regenerate every paper figure/result at full size (see DESIGN.md §4).
 experiments:
@@ -115,4 +137,4 @@ fuzz:
 	go test -fuzz FuzzReader -fuzztime 10s ./internal/video/
 
 clean:
-	rm -rf figures/ results_full.txt sljcheck_findings.json test_output.txt bench_output.txt smoke_data BENCH_smoke.json BENCH_gate.json metrics_snapshot.json stream_data BENCH_stream.json metrics_stream.json report_data .report_bin RUN_REPORT.json RUN_REPORT.md sljtop_once.txt
+	rm -rf figures/ results_full.txt sljcheck_findings.json test_output.txt bench_output.txt smoke_data BENCH_smoke.json BENCH_gate.json metrics_snapshot.json stream_data BENCH_stream.json metrics_stream.json report_data .report_bin RUN_REPORT.json RUN_REPORT.md sljtop_once.txt ERRORS.json HEALTH.json health_data ERRORS_smoke.json HEALTH_smoke.json health_smoke.log

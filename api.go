@@ -324,6 +324,10 @@ func (s *System) AnalyzeSilhouette(sil *imaging.Binary) FrameAnalysis {
 	}
 	sc := s.opts.Scope
 	sc.FrameDone()
+	// Whole-front-end frame latency (the stage.frame.ns histogram feeds
+	// the frame_p99 SLO); the per-stage spans below nest inside it.
+	fsp := sc.Start(obs.StageFrame)
+	defer fsp.End()
 	// The raw thinning result is only an intermediate: once the graph is
 	// built, the reported skeleton is re-rasterised from the graph. Run it
 	// through the imaging buffer pool so per-frame analysis does not
@@ -512,7 +516,9 @@ func clipFrame(lc dataset.LabeledClip, i int) (synth.Frame, error) {
 func (s *System) silhouetteSource(lc dataset.LabeledClip) (func(i int) (*imaging.Binary, error), error) {
 	if !s.opts.UseGroundTruthSilhouettes {
 		if lc.Clip.Background == nil {
-			return nil, fmt.Errorf("slj: clip %s has no background frame: %w", lc.Name, ErrNoBackground)
+			err := fmt.Errorf("slj: clip %s has no background frame: %w", lc.Name, ErrNoBackground)
+			s.opts.Scope.RecordError(obs.ErrClassIO, err)
+			return nil, err
 		}
 		s.SetBackground(lc.Clip.Background)
 	}
@@ -527,11 +533,14 @@ func (s *System) silhouetteSource(lc dataset.LabeledClip) (func(i int) (*imaging
 	return func(i int) (*imaging.Binary, error) {
 		fr, err := clipFrame(lc, i)
 		if err != nil {
+			s.opts.Scope.RecordError(errClassOf(err), err)
 			return nil, err
 		}
 		if s.opts.UseGroundTruthSilhouettes {
 			if fr.Silhouette == nil {
-				return nil, fmt.Errorf("slj: clip %s frame %d has no ground-truth silhouette", lc.Name, i)
+				err := fmt.Errorf("slj: clip %s frame %d has no ground-truth silhouette", lc.Name, i)
+				s.opts.Scope.RecordError(obs.ErrClassIO, err)
+				return nil, err
 			}
 			return fr.Silhouette, nil
 		}
@@ -549,7 +558,9 @@ func (s *System) silhouetteSource(lc dataset.LabeledClip) (func(i int) (*imaging
 			sil, err = s.extractor.Extract(fr.Image)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("slj: clip %s frame %d: %w", lc.Name, i, err)
+			err = fmt.Errorf("slj: clip %s frame %d: %w", lc.Name, i, err)
+			s.opts.Scope.RecordError(errClassOf(err), err)
+			return nil, err
 		}
 		return sil, nil
 	}, nil

@@ -37,6 +37,7 @@ func main() {
 		viterbi = flag.Bool("viterbi", false, "also report joint Viterbi decoding (the EXT3 extension)")
 		workers = flag.Int("workers", 1, "clip-evaluation workers (1 sequential, 0 or -1 all CPUs); results are identical at any setting")
 		stream  = flag.Bool("stream", false, "stream clips lazily from -data instead of materialising the corpus up front (bounded memory, identical results)")
+		skipBad = flag.Bool("skip-corrupt", false, "with -stream, skip clips that fail to decode (classified into the error journal) instead of aborting")
 	)
 	var ocli obs.CLI
 	ocli.RegisterFlags(flag.CommandLine)
@@ -59,8 +60,18 @@ func main() {
 		if _, _, err := dataset.OpenSplits(*data); err != nil {
 			log.Fatal(err)
 		}
-		openTrain = func() (dataset.ClipSource, error) { return dataset.OpenDir(filepath.Join(*data, "train")) }
-		openTest = func() (dataset.ClipSource, error) { return dataset.OpenDir(filepath.Join(*data, "test")) }
+		openSplit := func(split string) (dataset.ClipSource, error) {
+			src, err := dataset.OpenDir(filepath.Join(*data, split))
+			if err != nil {
+				return nil, err
+			}
+			if *skipBad {
+				return dataset.SkipCorrupt(src, scope), nil
+			}
+			return src, nil
+		}
+		openTrain = func() (dataset.ClipSource, error) { return openSplit("train") }
+		openTest = func() (dataset.ClipSource, error) { return openSplit("test") }
 	} else {
 		ds, err := dataset.Load(*data)
 		if err != nil {

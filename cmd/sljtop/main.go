@@ -37,6 +37,17 @@ import (
 var pipelineOrder = []string{
 	"stage.detect.ns", "stage.smooth.ns", "stage.thin.ns",
 	"stage.graph.ns", "stage.keypoint.ns", "stage.classify.ns",
+	"stage.frame.ns",
+}
+
+// view is one fetched dashboard frame: the totals snapshot plus the
+// optional subsystems (sampler series, health verdict, error journal)
+// — each absent endpoint degrades its panel rather than failing.
+type view struct {
+	snap   obs.Snapshot
+	ts     obs.TimeSeries
+	health *obs.HealthSnapshot
+	errs   *obs.JournalSnapshot
 }
 
 func main() {
@@ -62,25 +73,25 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(render(snap, obs.TimeSeries{}, *snapshot))
+		fmt.Print(render(view{snap: snap}, *snapshot))
 		return
 	}
 
 	client := &http.Client{Timeout: 5 * time.Second}
-	snap, ts, err := fetchWithRetry(client, *addr, *timeout)
+	v, err := fetchWithRetry(client, *addr, *timeout)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *once {
-		fmt.Print(render(snap, ts, *addr))
+		fmt.Print(render(v, *addr))
 		return
 	}
 	for {
 		// Home the cursor and clear to end of screen; a full clear per
 		// frame would flicker.
-		fmt.Print("\033[H\033[2J" + render(snap, ts, *addr))
+		fmt.Print("\033[H\033[2J" + render(v, *addr))
 		time.Sleep(*interval)
-		snap, ts, err = fetch(client, *addr)
+		v, err = fetch(client, *addr)
 		if err != nil {
 			log.Fatal(err) // the job exited; its server is gone
 		}
@@ -89,42 +100,58 @@ func main() {
 
 // fetchWithRetry polls fetch until it succeeds or the timeout passes —
 // the job being watched may still be compiling or binding its listener.
-func fetchWithRetry(client *http.Client, addr string, timeout time.Duration) (obs.Snapshot, obs.TimeSeries, error) {
+func fetchWithRetry(client *http.Client, addr string, timeout time.Duration) (view, error) {
 	deadline := time.Now().Add(timeout)
 	for {
-		snap, ts, err := fetch(client, addr)
+		v, err := fetch(client, addr)
 		if err == nil {
-			return snap, ts, nil
+			return v, nil
 		}
 		if time.Now().After(deadline) {
-			return obs.Snapshot{}, obs.TimeSeries{}, fmt.Errorf("no obs endpoint at %s after %s: %w", addr, timeout, err)
+			return view{}, fmt.Errorf("no obs endpoint at %s after %s: %w", addr, timeout, err)
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
 }
 
-// fetch reads the totals snapshot and, when the sampler endpoint is
-// mounted, the time-series rings. A missing /debug/timeseries (sampling
-// disabled) degrades to totals-only rendering rather than failing.
-func fetch(client *http.Client, addr string) (obs.Snapshot, obs.TimeSeries, error) {
-	var snap obs.Snapshot
-	if err := getJSON(client, "http://"+addr+"/debug/metrics", &snap); err != nil {
-		return obs.Snapshot{}, obs.TimeSeries{}, err
+// fetch reads the totals snapshot and, when mounted, the sampler rings,
+// the health verdict, and the error journal. Each optional endpoint
+// that is missing (its subsystem disabled) degrades its panel rather
+// than failing. /debug/health answers 503 when the job is failing its
+// SLOs — that response still carries the snapshot we want to render, so
+// it is accepted alongside 200.
+func fetch(client *http.Client, addr string) (view, error) {
+	var v view
+	if err := getJSON(client, "http://"+addr+"/debug/metrics", &v.snap, http.StatusOK); err != nil {
+		return view{}, err
 	}
-	var ts obs.TimeSeries
-	if err := getJSON(client, "http://"+addr+"/debug/timeseries", &ts); err != nil {
-		ts = obs.TimeSeries{}
+	if err := getJSON(client, "http://"+addr+"/debug/timeseries", &v.ts, http.StatusOK); err != nil {
+		v.ts = obs.TimeSeries{}
 	}
-	return snap, ts, nil
+	var hs obs.HealthSnapshot
+	if err := getJSON(client, "http://"+addr+"/debug/health", &hs, http.StatusOK, http.StatusServiceUnavailable); err == nil {
+		v.health = &hs
+	}
+	var js obs.JournalSnapshot
+	if err := getJSON(client, "http://"+addr+"/debug/errors", &js, http.StatusOK); err == nil {
+		v.errs = &js
+	}
+	return v, nil
 }
 
-func getJSON(client *http.Client, url string, into any) error {
+func getJSON(client *http.Client, url string, into any, okStatuses ...int) error {
 	resp, err := client.Get(url)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	ok := false
+	for _, s := range okStatuses {
+		if resp.StatusCode == s {
+			ok = true
+		}
+	}
+	if !ok {
 		io.Copy(io.Discard, resp.Body)
 		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
 	}
@@ -176,9 +203,9 @@ func sparkline(points []float64, width int) string {
 	return b.String()
 }
 
-// render lays out one dashboard frame from the totals snapshot and
-// (possibly empty) time series.
-func render(snap obs.Snapshot, ts obs.TimeSeries, source string) string {
+// render lays out one dashboard frame from the fetched view.
+func render(v view, source string) string {
+	snap, ts := v.snap, v.ts
 	counters := map[string]int64{}
 	for _, c := range snap.Counters {
 		counters[c.Name] = c.Value
@@ -255,11 +282,47 @@ func render(snap obs.Snapshot, ts obs.TimeSeries, source string) string {
 		counters["pipeline.graph_fail"], counters["pipeline.keypoint_miss"],
 		counters["pipeline.keypoint_miss.degenerate"], counters["pipeline.keypoint_miss.no_torso"],
 		counters["pipeline.hand_absent"])
+	if v.health != nil {
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "alerts      verdict %s", v.health.Verdict)
+		if len(v.health.Reasons) > 0 {
+			fmt.Fprintf(&b, " · %d breaching", len(v.health.Reasons))
+		}
+		b.WriteString("\n")
+		for _, st := range v.health.SLOs {
+			if st.Level == obs.SLOOK.String() {
+				continue
+			}
+			// The breach reason embeds the correlating trace ID when the
+			// SLO's error class has a journaled exemplar.
+			fmt.Fprintf(&b, "  %-10s %-10s burn fast %.2f slow %.2f  %s\n",
+				st.Level, st.Name, st.BurnFast, st.BurnSlow, st.Reason)
+		}
+	}
+
+	if v.errs != nil && v.errs.Total > 0 {
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "errors      %d journaled\n", v.errs.Total)
+		for _, c := range v.errs.Classes {
+			last := c.Exemplars[len(c.Exemplars)-1]
+			fmt.Fprintf(&b, "  %-20s %6d  last %s clip=%s %s\n",
+				c.Class, c.Count, last.Trace, orDash(last.Clip), last.Msg)
+		}
+	}
+
 	if ts.Ticks > 0 {
 		fmt.Fprintf(&b, "\nsampler     %d ticks @ %s, window %d\n",
 			ts.Ticks, time.Duration(ts.IntervalNS), ts.Window)
 	}
 	return b.String()
+}
+
+// orDash substitutes "-" for an empty field so columns stay aligned.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 // sparkSeries renders the named series' ring as a sparkline, or "" when

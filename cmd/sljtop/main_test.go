@@ -49,11 +49,11 @@ func TestOnceAgainstLiveEndpoint(t *testing.T) {
 	defer srv.Close()
 
 	client := &http.Client{Timeout: 5 * time.Second}
-	snap, ts, err := fetchWithRetry(client, srv.Addr(), 5*time.Second)
+	v, err := fetchWithRetry(client, srv.Addr(), 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := render(snap, ts, srv.Addr())
+	out := render(v, srv.Addr())
 
 	for _, want := range []string{
 		"throughput", "frames 650", "clips  10",
@@ -73,8 +73,63 @@ func TestOnceAgainstLiveEndpoint(t *testing.T) {
 	}
 
 	// The time series made it over the wire.
-	if ts.Ticks < 1 {
-		t.Errorf("timeseries ticks = %d, want >= 1", ts.Ticks)
+	if v.ts.Ticks < 1 {
+		t.Errorf("timeseries ticks = %d, want >= 1", v.ts.Ticks)
+	}
+}
+
+// TestAlertsPanelCarriesTraceID serves a degraded job — a journaled
+// decode error breaching the decode_errors SLO — and checks the sljtop
+// alert row and the errors row both show the journal's trace ID.
+func TestAlertsPanelCarriesTraceID(t *testing.T) {
+	reg := populatedRegistry()
+	reg.Counter("dataset.clips_streamed").Add(10)
+	journal := obs.NewJournal(reg, 64)
+	journal.Record(obs.ErrClassDecode, "t000042", "clip-bad", -1, "background: torn header")
+
+	smp := obs.NewSampler(reg, time.Hour, 8)
+	smp.Start()
+	defer smp.Stop()
+	health, err := obs.NewHealthEvaluator(reg, smp, journal, obs.DefaultSLOs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp.SetOnTick(health.Eval)
+	smp.Tick()
+
+	srv, err := obs.ServeWith("127.0.0.1:0", obs.ServeConfig{
+		Registry: reg, Sampler: smp, Journal: journal, Health: health,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	v, err := fetchWithRetry(client, srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.health == nil {
+		t.Fatal("no health snapshot fetched")
+	}
+	if v.errs == nil {
+		t.Fatal("no error journal fetched")
+	}
+	out := render(v, srv.Addr())
+
+	if !strings.Contains(out, "alerts") || !strings.Contains(out, "verdict degraded") {
+		t.Errorf("render missing degraded alerts panel:\n%s", out)
+	}
+	if !strings.Contains(out, "decode_errors") {
+		t.Errorf("render missing decode_errors alert row:\n%s", out)
+	}
+	// The same trace ID correlates the alert row and the errors row.
+	if got := strings.Count(out, "t000042"); got < 2 {
+		t.Errorf("trace t000042 appears %d times, want >= 2 (alert row + errors row):\n%s", got, out)
+	}
+	if !strings.Contains(out, "errors") || !strings.Contains(out, "1 journaled") {
+		t.Errorf("render missing errors panel:\n%s", out)
 	}
 }
 
@@ -97,7 +152,7 @@ func TestSnapshotMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := render(snap, obs.TimeSeries{}, path)
+	out := render(view{snap: snap}, path)
 	for _, want := range []string{"frames 650", "stage.thin.ns"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("snapshot render missing %q:\n%s", want, out)

@@ -149,6 +149,11 @@ func (e *Engine) pullFrom(src dataset.ClipSource) func() (dataset.LabeledClip, e
 		t0 := time.Now()
 		lc, err := src.Next()
 		sc.SourceStall(time.Since(t0))
+		if err != nil && err != io.EOF {
+			// A failed pull aborts the run (unless the source skips, see
+			// dataset.SkipCorrupt); classify and journal it either way.
+			sc.RecordError(errClassOf(err), err)
+		}
 		return lc, err
 	}
 }

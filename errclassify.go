@@ -1,0 +1,22 @@
+package slj
+
+import (
+	"errors"
+
+	"repro/internal/dataset"
+	"repro/internal/obs"
+)
+
+// errClassOf maps a pipeline error onto the obs error taxonomy for the
+// journal: corpus decode failures (dataset.ErrCorrupt anywhere in the
+// chain) are decode errors; everything else that reaches a journaling
+// call site is residual I/O. The front-end-specific classes
+// (degenerate skeleton, no torso, key-point miss, DBN Unknown) are
+// recorded at their detection sites inside obs.Scope, not here —
+// those failures are counters, not Go errors.
+func errClassOf(err error) obs.ErrClass {
+	if errors.Is(err, dataset.ErrCorrupt) {
+		return obs.ErrClassDecode
+	}
+	return obs.ErrClassIO
+}

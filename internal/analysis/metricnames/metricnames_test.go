@@ -75,8 +75,16 @@ func TestInventory(t *testing.T) {
 	if got := byName["parallel.stall_ns"]; got.Kind != "func" {
 		t.Errorf("parallel.stall_ns kind = %q, want func", got.Kind)
 	}
-	if dynamics != 1 {
-		t.Errorf("dynamic sites = %d, want 1", dynamics)
+	// Two dynamic sites: the stage histogram and the computed slo gauge.
+	if dynamics != 2 {
+		t.Errorf("dynamic sites = %d, want 2", dynamics)
+	}
+	// The flight recorder's literal families are inventoried too.
+	if got := byName["errors.decode"]; got.Kind != "counter" {
+		t.Errorf("errors.decode kind = %q, want counter", got.Kind)
+	}
+	if got := byName["health.state"]; got.Kind != "gauge" {
+		t.Errorf("health.state kind = %q, want gauge", got.Kind)
 	}
 	// notRegistry calls must not leak in.
 	if _, ok := byName["NOT.A.METRIC"]; ok {

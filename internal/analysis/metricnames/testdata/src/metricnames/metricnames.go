@@ -50,3 +50,23 @@ func register(reg *Registry) {
 	var n notRegistry
 	n.Counter("NOT.A.METRIC")
 }
+
+func registerFlightRecorder(reg *Registry) {
+	// The error journal's errors.* counter family registers literally,
+	// so it is policed like every other family.
+	reg.Counter("errors.decode")
+	reg.Counter("errors.degenerate_skeleton")
+	reg.Counter("errors.total")
+	reg.Counter("errors.bad-class") // want "not lowercase dot-case"
+	reg.Counter("errors.decode")    // want "already registered"
+
+	// Health gauges: the verdict registers literally; per-objective
+	// slo.<name>.* gauges splice a spec name. The literal spelling
+	// conforms, the computed one is out of the analyzer's reach (the
+	// spec name grammar is enforced at runtime by SLOSpec.Validate).
+	reg.Gauge("health.state")
+	reg.Gauge("slo.frame_p99.level")
+	reg.Gauge("slo.frame_p99.burn_fast_milli")
+	reg.Gauge("slo." + dyn() + ".level")
+	reg.Gauge("slo.Frame-P99.level") // want "not lowercase dot-case"
+}

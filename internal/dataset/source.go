@@ -143,6 +143,53 @@ func (s *DirSource) Close() error {
 	return nil
 }
 
+// SkipCorrupt wraps src so clips whose header fails to decode are
+// classified (errors.decode), journaled with a trace ID, and skipped
+// instead of aborting the run — the resilient-ingest mode for
+// unattended sweeps over large corpora. Errors other than ErrCorrupt
+// still propagate: a permission problem or a bug must not be silently
+// eaten. The scope may be nil (recording is then disabled); the engine
+// re-attaches its own scope through SetScope.
+func SkipCorrupt(src ClipSource, sc *obs.Scope) ClipSource {
+	return &resilientSource{src: src, scope: sc}
+}
+
+type resilientSource struct {
+	src     ClipSource
+	scope   *obs.Scope
+	skipped int
+}
+
+// Next pulls from the wrapped source, skipping corrupt clips.
+func (r *resilientSource) Next() (LabeledClip, error) {
+	for {
+		lc, err := r.src.Next()
+		if err == nil || errors.Is(err, io.EOF) {
+			return lc, err
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			return lc, err
+		}
+		r.scope.RecordError(obs.ErrClassDecode, err)
+		r.skipped++
+	}
+}
+
+// Skipped reports how many corrupt clips were dropped so far.
+func (r *resilientSource) Skipped() int { return r.skipped }
+
+// SetScope attaches instrumentation to the wrapper and the wrapped
+// source (the engine calls this on whatever source it is handed).
+func (r *resilientSource) SetScope(sc *obs.Scope) {
+	r.scope = sc
+	if s, ok := r.src.(interface{ SetScope(*obs.Scope) }); ok {
+		s.SetScope(sc)
+	}
+}
+
+// Close closes the wrapped source.
+func (r *resilientSource) Close() error { return r.src.Close() }
+
 // ClipReader provides lazy access to one clip saved by SaveClip: the
 // header (labels.txt, background.ppm) is decoded by OpenClip, each
 // frame's image and silhouette by ReadFrame. A reader holds no open

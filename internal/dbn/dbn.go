@@ -308,6 +308,9 @@ type Session struct {
 	// sc instruments decisions (latency, Unknown rate per jump stage);
 	// nil disables.
 	sc *obs.Scope
+	// frame counts Classify calls, so Unknown decisions journal with
+	// the frame index they were made on.
+	frame int
 }
 
 // NewSession starts decoding a clip: "When the first frame enters, we
@@ -393,7 +396,8 @@ func (s *Session) Classify(enc keypoint.Encoding) (Result, error) {
 
 	// The decision is attributed to the stage it was made UNDER (the
 	// evidence fed to the networks), not the stage it advances to.
-	s.sc.Decision(int(s.stage), decided == pose.PoseUnknown)
+	s.sc.Decision(int(s.stage), s.frame, decided == pose.PoseUnknown)
+	s.frame++
 
 	// Advance the dynamic state.
 	if decided != pose.PoseUnknown {

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime/trace"
@@ -41,6 +42,18 @@ type CLI struct {
 	// ReportCompare is the -report-compare baseline report; Stop returns
 	// an error when the new report regresses against it.
 	ReportCompare string
+	// Log is the -log structured-event JSONL path ("-" or "stderr" for
+	// standard error). It may equal Spans, in which case log lines and
+	// span records interleave through one shared LineSink.
+	Log string
+	// LogLevel is the -log-level minimum (debug|info|warn|error).
+	LogLevel string
+	// ErrorsOut is the -errors-out error-journal snapshot path written
+	// by Stop.
+	ErrorsOut string
+	// HealthOut is the -health-out health snapshot path written by
+	// Stop (after one final SLO evaluation).
+	HealthOut string
 
 	scope     *Scope
 	metricsLn *Server
@@ -48,6 +61,9 @@ type CLI struct {
 	tracer    *Tracer
 	traceFile *os.File
 	sampler   *Sampler
+	journal   *Journal
+	health    *HealthEvaluator
+	logSink   *LineSink
 	started   time.Time
 }
 
@@ -62,6 +78,10 @@ func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
 	fs.IntVar(&c.SampleWindow, "sample-window", 300, "time-series ring-buffer capacity in samples")
 	fs.StringVar(&c.Report, "report", "", "write an end-of-run report (JSON + markdown sibling) to this path, e.g. RUN_REPORT.json")
 	fs.StringVar(&c.ReportCompare, "report-compare", "", "previous -report JSON to gate against; exit non-zero when stage quantiles or throughput regress")
+	fs.StringVar(&c.Log, "log", "", "write structured JSONL event logs to this file (\"-\" or \"stderr\" for standard error; may equal -spans to interleave)")
+	fs.StringVar(&c.LogLevel, "log-level", "info", "minimum -log level: debug|info|warn|error")
+	fs.StringVar(&c.ErrorsOut, "errors-out", "", "write a final error-journal snapshot (JSON) to this file on exit")
+	fs.StringVar(&c.HealthOut, "health-out", "", "write a final health/SLO snapshot (JSON) to this file on exit")
 }
 
 // Enabled reports whether any observability sink was requested.
@@ -69,7 +89,8 @@ func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
 // consumer of the other sinks, not a sink itself.
 func (c *CLI) Enabled() bool {
 	return c.Metrics != "" || c.Pprof != "" || c.Trace != "" || c.Spans != "" ||
-		c.MetricsOut != "" || c.Report != ""
+		c.MetricsOut != "" || c.Report != "" || c.Log != "" ||
+		c.ErrorsOut != "" || c.HealthOut != ""
 }
 
 // Start brings up every requested sink and returns the pipeline scope
@@ -82,18 +103,52 @@ func (c *CLI) Start() (*Scope, error) {
 	}
 	c.started = time.Now()
 	c.scope = NewScope(NewRegistry())
-	if c.SampleInterval > 0 {
-		c.sampler = NewSampler(c.scope.Registry(), c.SampleInterval, c.SampleWindow)
-		c.sampler.Start()
-	}
-	if c.Spans != "" {
-		t, err := OpenTrace(c.Spans)
+	c.journal = NewJournal(c.scope.Registry(), 256)
+	c.scope.SetJournal(c.journal)
+	if c.Log != "" {
+		level, err := ParseLogLevel(c.LogLevel)
 		if err != nil {
 			c.shutdown()
 			return nil, err
 		}
-		c.tracer = t
-		c.scope.SetTracer(t)
+		if c.Log == "-" || c.Log == "stderr" {
+			// Wrap stderr so the sink's Close never closes the real fd.
+			c.logSink = NewLineSink(struct{ io.Writer }{os.Stderr})
+		} else {
+			c.logSink, err = OpenLineSink(c.Log)
+			if err != nil {
+				c.shutdown()
+				return nil, err
+			}
+		}
+		c.scope.SetLogger(slog.New(NewLogHandler(c.logSink, LogOptions{Level: level})))
+	}
+	if c.SampleInterval > 0 {
+		c.sampler = NewSampler(c.scope.Registry(), c.SampleInterval, c.SampleWindow)
+		h, err := NewHealthEvaluator(c.scope.Registry(), c.sampler, c.journal, DefaultSLOs())
+		if err != nil {
+			c.shutdown()
+			return nil, err
+		}
+		c.health = h
+		// The evaluator rides the sampler: one verdict per sample tick.
+		c.sampler.SetOnTick(h.Eval)
+		c.sampler.Start()
+	}
+	if c.Spans != "" {
+		if c.logSink != nil && c.Spans == c.Log {
+			// Spans and logs share one serialized sink: records
+			// interleave whole-line, never mid-line.
+			c.tracer = NewTracerSink(c.logSink)
+		} else {
+			t, err := OpenTrace(c.Spans)
+			if err != nil {
+				c.shutdown()
+				return nil, err
+			}
+			c.tracer = t
+		}
+		c.scope.SetTracer(c.tracer)
 	}
 	if c.Trace != "" {
 		f, err := os.Create(c.Trace)
@@ -109,13 +164,19 @@ func (c *CLI) Start() (*Scope, error) {
 		c.traceFile = f
 	}
 	if c.Metrics != "" {
-		s, err := Serve(c.Metrics, c.scope.Registry(), c.sampler)
+		s, err := ServeWith(c.Metrics, ServeConfig{
+			Registry: c.scope.Registry(),
+			Sampler:  c.sampler,
+			Journal:  c.journal,
+			Health:   c.health,
+			LogSink:  c.logSink,
+		})
 		if err != nil {
 			c.shutdown()
 			return nil, err
 		}
 		c.metricsLn = s
-		fmt.Fprintf(os.Stderr, "obs: metrics on http://%s/debug/metrics (expvar at /debug/vars, Prometheus at /debug/metrics.prom, series at /debug/timeseries)\n", s.Addr())
+		fmt.Fprintf(os.Stderr, "obs: metrics on http://%s/debug/metrics (expvar at /debug/vars, Prometheus at /debug/metrics.prom, series at /debug/timeseries, errors at /debug/errors, health at /debug/health)\n", s.Addr())
 	}
 	if c.Pprof != "" && c.Pprof != c.Metrics {
 		s, err := Serve(c.Pprof, nil, nil)
@@ -125,6 +186,9 @@ func (c *CLI) Start() (*Scope, error) {
 		}
 		c.pprofLn = s
 		fmt.Fprintf(os.Stderr, "obs: pprof on http://%s/debug/pprof/\n", s.Addr())
+	}
+	if l := c.scope.Logger(); l != nil {
+		l.Info("run started", "sample_interval", c.SampleInterval)
 	}
 	return c.scope, nil
 }
@@ -150,14 +214,28 @@ func (c *CLI) Stop() error {
 	}
 	keep(c.tracer.Close())
 	c.tracer = nil
+	// Stopping the sampler takes one final tick, which (via SetOnTick)
+	// runs one final SLO evaluation — the artifacts below see the whole
+	// run, including its last partial window.
 	c.sampler.Stop()
 	if c.MetricsOut != "" && c.scope != nil {
 		keep(c.writeSnapshot())
 	}
+	if c.ErrorsOut != "" && c.journal != nil {
+		keep(writeFileWith(c.ErrorsOut, c.journal.WriteJSON))
+	}
+	if c.HealthOut != "" && c.scope != nil {
+		keep(writeFileWith(c.HealthOut, c.health.WriteJSON))
+	}
 	if c.Report != "" && c.scope != nil {
 		keep(c.writeReport())
 	}
+	if l := c.scope.Logger(); l != nil {
+		l.Info("run finished", "health", c.health.Health().String(), "errors", c.journal.Total())
+	}
 	c.shutdown()
+	keep(c.logSink.Close())
+	c.logSink = nil
 	return first
 }
 
@@ -181,6 +259,14 @@ func (c *CLI) writeSnapshot() error {
 // -report-compare it then gates against the baseline report.
 func (c *CLI) writeReport() error {
 	rep := BuildRunReport(c.scope.Registry().Snapshot(), time.Since(c.started), time.Now())
+	if c.health != nil {
+		hs := c.health.Snapshot()
+		rep.Health = &hs
+	}
+	if c.journal != nil {
+		js := c.journal.Snapshot()
+		rep.Errors = &js
+	}
 	if err := writeFileWith(c.Report, rep.WriteJSON); err != nil {
 		return err
 	}
@@ -242,9 +328,23 @@ func (c *CLI) Sampler() *Sampler {
 	return c.sampler
 }
 
-// shutdown closes the HTTP servers and sampler (used by Stop and by
-// Start's error paths).
+// Health returns the CLI's SLO evaluator (nil when sampling is
+// disabled or Start has not run); serving layers use it as their
+// admission predicate.
+func (c *CLI) Health() *HealthEvaluator {
+	return c.health
+}
+
+// Journal returns the CLI's error journal (nil before Start).
+func (c *CLI) Journal() *Journal {
+	return c.journal
+}
+
+// shutdown closes the HTTP servers, sampler and SLO evaluator (used by
+// Stop and by Start's error paths). The log sink outlives it — Stop
+// closes it last so shutdown itself can still be logged.
 func (c *CLI) shutdown() {
+	c.health.Stop()
 	c.sampler.Stop()
 	c.sampler = nil
 	_ = c.metricsLn.Close()

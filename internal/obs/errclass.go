@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ErrClass is the pipeline's error taxonomy: every classified failure
+// lands in exactly one class, driving the per-class counters
+// (errors.*), the journal's exemplar rings, and SLO attribution. The
+// classes mirror where the paper's pipeline can break: decode (corpus
+// I/O), the skeleton front end (degenerate skeleton, missing torso,
+// key-point location), the DBN bank (Unknown decisions), buffer-pool
+// discipline, and residual I/O.
+type ErrClass int
+
+// Error classes; ErrClassNone marks an unclassified (ignored) record.
+const (
+	ErrClassNone ErrClass = iota
+	ErrClassDecode
+	ErrClassDegenerateSkeleton
+	ErrClassNoTorso
+	ErrClassKeypointMiss
+	ErrClassDBNUnknown
+	ErrClassPool
+	ErrClassIO
+	NumErrClasses
+)
+
+var errClassNames = [NumErrClasses]string{
+	"none",
+	"decode",
+	"degenerate_skeleton",
+	"no_torso",
+	"keypoint_miss",
+	"dbn_unknown",
+	"pool",
+	"io",
+}
+
+// String returns the class's metric-name token ("decode", "no_torso",
+// ...); these are the suffixes of the errors.* counter family.
+func (c ErrClass) String() string {
+	if c < 0 || c >= NumErrClasses {
+		return "unknown"
+	}
+	return errClassNames[c]
+}
+
+// MarshalJSON renders the class as its name, so journal and health
+// snapshots read as "class": "decode" rather than an integer.
+func (c ErrClass) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.String())
+}
+
+// UnmarshalJSON parses the name form written by MarshalJSON.
+func (c *ErrClass) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for i, n := range errClassNames {
+		if n == s {
+			*c = ErrClass(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown error class %q", s)
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestErrClassStringJSONRoundTrip(t *testing.T) {
+	for c := ErrClassNone; c < NumErrClasses; c++ {
+		data, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", c, err)
+		}
+		var back ErrClass
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != c {
+			t.Errorf("round trip %v -> %s -> %v", c, data, back)
+		}
+	}
+	var bad ErrClass
+	if err := json.Unmarshal([]byte(`"bogus"`), &bad); err == nil {
+		t.Error("unmarshal of unknown class name did not fail")
+	}
+}
+
+func TestJournalRecordAndCounters(t *testing.T) {
+	reg := NewRegistry()
+	j := NewJournal(reg, 64)
+	j.Record(ErrClassDecode, "t000001", "clip-a", -1, "torn header")
+	j.Record(ErrClassDecode, "t000002", "clip-b", -1, "short file")
+	j.Record(ErrClassDBNUnknown, "t000003", "clip-c", 7, "no decisive pose")
+	j.Record(ErrClassNone, "tX", "clip-d", -1, "must be dropped")
+
+	if got := j.Count(ErrClassDecode); got != 2 {
+		t.Errorf("decode count = %d, want 2", got)
+	}
+	if got := j.Total(); got != 3 {
+		t.Errorf("total = %d, want 3", got)
+	}
+	if got := j.LastTrace(ErrClassDecode); got != "t000002" {
+		t.Errorf("LastTrace(decode) = %q, want t000002", got)
+	}
+	if got := j.LastTrace(ErrClassPool); got != "" {
+		t.Errorf("LastTrace(empty class) = %q, want \"\"", got)
+	}
+
+	// The registry carries the errors.* family.
+	snap := reg.Snapshot()
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["errors.decode"] != 2 || counters["errors.dbn_unknown"] != 1 || counters["errors.total"] != 3 {
+		t.Errorf("registry counters = %v", counters)
+	}
+}
+
+func TestJournalSnapshotOrderingAndRings(t *testing.T) {
+	reg := NewRegistry()
+	j := NewJournal(reg, 16) // minimum ring
+	j.SetClock(func() time.Time { return time.Unix(0, 0) })
+	// Overflow both the per-class exemplar ring (4) and the recent ring (16).
+	for i := 0; i < 20; i++ {
+		j.Record(ErrClassIO, "", "clip", i, "io failure")
+	}
+	j.Record(ErrClassDecode, "t000021", "clip-x", -1, "decode failure")
+
+	snap := j.Snapshot()
+	if snap.Schema != JournalSchema {
+		t.Errorf("schema = %d, want %d", snap.Schema, JournalSchema)
+	}
+	if snap.Total != 21 {
+		t.Errorf("total = %d, want 21", snap.Total)
+	}
+	// Classes come in taxonomy order with zero-count classes omitted.
+	if len(snap.Classes) != 2 || snap.Classes[0].Class != ErrClassDecode || snap.Classes[1].Class != ErrClassIO {
+		t.Fatalf("classes = %+v, want [decode, io]", snap.Classes)
+	}
+	// Exemplar ring keeps the newest 4, oldest first.
+	ex := snap.Classes[1].Exemplars
+	if len(ex) != journalExemplars {
+		t.Fatalf("io exemplars = %d, want %d", len(ex), journalExemplars)
+	}
+	for i, e := range ex {
+		if want := 16 + i; e.Frame != want {
+			t.Errorf("exemplar %d frame = %d, want %d", i, e.Frame, want)
+		}
+	}
+	// Recent ring keeps the newest 16 overall, oldest first, seq ascending.
+	if len(snap.Recent) != 16 {
+		t.Fatalf("recent = %d entries, want 16", len(snap.Recent))
+	}
+	for i := 1; i < len(snap.Recent); i++ {
+		if snap.Recent[i].Seq <= snap.Recent[i-1].Seq {
+			t.Fatalf("recent out of order at %d: %+v", i, snap.Recent)
+		}
+	}
+	if last := snap.Recent[len(snap.Recent)-1]; last.Class != ErrClassDecode || last.Trace != "t000021" {
+		t.Errorf("newest recent entry = %+v, want the decode failure", last)
+	}
+
+	var buf bytes.Buffer
+	if err := j.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back JournalSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v", err)
+	}
+	if back.Total != 21 {
+		t.Errorf("decoded total = %d, want 21", back.Total)
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Record(ErrClassDecode, "t", "c", -1, "m") // must not panic
+	if j.Count(ErrClassDecode) != 0 || j.Total() != 0 || j.LastTrace(ErrClassDecode) != "" {
+		t.Error("nil journal reports non-zero state")
+	}
+	snap := j.Snapshot()
+	if snap.Total != 0 || len(snap.Classes) != 0 || snap.Schema != JournalSchema {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+}
+
+// TestJournalConcurrentRecord drives Record from many goroutines; run
+// under -race it proves the rings are lock-protected and the counts
+// still add up.
+func TestJournalConcurrentRecord(t *testing.T) {
+	reg := NewRegistry()
+	j := NewJournal(reg, 32)
+	const goroutines, perG = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				j.Record(ErrClassKeypointMiss, "t000001", "clip", i, "miss")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := j.Total(); got != goroutines*perG {
+		t.Errorf("total = %d, want %d", got, goroutines*perG)
+	}
+	if got := len(j.Snapshot().Recent); got != 32 {
+		t.Errorf("recent ring holds %d, want 32", got)
+	}
+}

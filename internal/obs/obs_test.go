@@ -112,7 +112,7 @@ func TestNilInstrumentsZeroAlloc(t *testing.T) {
 		sc.GraphStats(1, 2)
 		sc.KeyPointMiss(true, false)
 		sc.HandAbsent()
-		sc.Decision(2, true)
+		sc.Decision(2, -1, true)
 		sc.AcquireStall(time.Millisecond)
 		sc.PoolFree(4)
 		if ps := sc.Parallel(); ps != nil {
@@ -145,7 +145,7 @@ func TestEnabledSpanZeroAlloc(t *testing.T) {
 	allocs := testing.AllocsPerRun(100, func() {
 		sp := sc.Start(StageGraph)
 		sc.FrameDone()
-		sc.Decision(1, false)
+		sc.Decision(1, -1, false)
 		sp.End()
 	})
 	if allocs != 0 {
@@ -157,7 +157,7 @@ func TestSnapshotDeterministic(t *testing.T) {
 	reg := NewRegistry()
 	sc := NewScope(reg)
 	sc.FrameDone()
-	sc.Decision(3, true)
+	sc.Decision(3, -1, true)
 	sc.Start(StageDetect).End()
 	var a, b bytes.Buffer
 	if err := reg.WriteJSON(&a); err != nil {

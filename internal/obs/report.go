@@ -10,8 +10,10 @@ import (
 	"time"
 )
 
-// RunReportSchema versions the RUN_REPORT.json layout.
-const RunReportSchema = 1
+// RunReportSchema versions the RUN_REPORT.json layout. Schema 2 added
+// the optional health and errors sections (older readers ignore them;
+// CompareRunReports never gates on them).
+const RunReportSchema = 2
 
 // StageQuantiles summarises one latency histogram in a run report. The
 // quantiles are computed from the registry's final histogram snapshot
@@ -50,6 +52,11 @@ type RunReport struct {
 	Stages   []StageQuantiles `json:"stages"`
 	Counters []MetricValue    `json:"counters"`
 	Gauges   []MetricValue    `json:"gauges"`
+
+	// Health is the final SLO verdict and Errors the error-journal
+	// summary; both are attached by CLI.Stop when the subsystems ran.
+	Health *HealthSnapshot  `json:"health,omitempty"`
+	Errors *JournalSnapshot `json:"errors,omitempty"`
 }
 
 // BuildRunReport derives a report from a final registry snapshot and the
@@ -114,8 +121,17 @@ func (r RunReport) WriteMarkdown(w io.Writer) error {
 	fmt.Fprintf(&b, "- wall time: %s\n", time.Duration(r.WallNS))
 	fmt.Fprintf(&b, "- frames: %d (%.1f frames/s)\n", r.Frames, r.FramesPerS)
 	fmt.Fprintf(&b, "- clips: %d (%.2f clips/s)\n", r.Clips, r.ClipsPerS)
-	fmt.Fprintf(&b, "- stall ratio: %.3f · pool hit rate: %.1f%%\n\n", r.StallRatio, 100*r.PoolHitRate)
-	fmt.Fprintf(&b, "## Latency quantiles\n\n")
+	fmt.Fprintf(&b, "- stall ratio: %.3f · pool hit rate: %.1f%%\n", r.StallRatio, 100*r.PoolHitRate)
+	if r.Health != nil {
+		fmt.Fprintf(&b, "- health: **%s**\n", r.Health.Verdict)
+		for _, reason := range r.Health.Reasons {
+			fmt.Fprintf(&b, "  - %s\n", reason)
+		}
+	}
+	if r.Errors != nil && r.Errors.Total > 0 {
+		fmt.Fprintf(&b, "- errors: %d journaled\n", r.Errors.Total)
+	}
+	fmt.Fprintf(&b, "\n## Latency quantiles\n\n")
 	fmt.Fprintf(&b, "| histogram | count | mean | p50 | p95 | p99 |\n")
 	fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---:|\n")
 	for _, s := range r.Stages {
@@ -129,6 +145,16 @@ func (r RunReport) WriteMarkdown(w io.Writer) error {
 	fmt.Fprintf(&b, "\n## Gauges\n\n| name | value |\n|---|---:|\n")
 	for _, g := range r.Gauges {
 		fmt.Fprintf(&b, "| %s | %d |\n", g.Name, g.Value)
+	}
+	if r.Errors != nil && len(r.Errors.Classes) > 0 {
+		fmt.Fprintf(&b, "\n## Errors\n\n| class | count | last trace | last clip |\n|---|---:|---|---|\n")
+		for _, c := range r.Errors.Classes {
+			trace, clip := "", ""
+			if n := len(c.Exemplars); n > 0 {
+				trace, clip = c.Exemplars[n-1].Trace, c.Exemplars[n-1].Clip
+			}
+			fmt.Fprintf(&b, "| %s | %d | %s | %s |\n", c.Class, c.Count, trace, clip)
+		}
 	}
 	if _, err := io.WriteString(w, b.String()); err != nil {
 		return fmt.Errorf("obs: writing run report markdown: %w", err)

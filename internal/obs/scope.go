@@ -1,6 +1,12 @@
 package obs
 
-import "time"
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
 
 // Stage identifies one pipeline stage for span timing. The order
 // mirrors the paper's processing chain (Sections 2–4).
@@ -14,10 +20,11 @@ const (
 	StageGraph                 // skeleton graph build + prune
 	StageKeyPoint              // key-point location + feature encoding
 	StageClassify              // DBN bank decision
+	StageFrame                 // whole skeleton front end (thin+graph+keypoint), per frame
 	numStages
 )
 
-var stageNames = [numStages]string{"detect", "smooth", "thin", "graph", "keypoint", "classify"}
+var stageNames = [numStages]string{"detect", "smooth", "thin", "graph", "keypoint", "classify", "frame"}
 
 // String returns the stage's metric-name token ("detect", "thin", ...).
 func (s Stage) String() string {
@@ -54,9 +61,16 @@ type ParallelStats struct {
 // every method is a no-op and Start returns a Span whose End does
 // nothing.
 type Scope struct {
-	reg    *Registry
-	tracer *Tracer
-	clip   string
+	reg     *Registry
+	tracer  *Tracer
+	journal *Journal
+	logger  *slog.Logger
+	clip    string
+	// trace is the clip's correlation ID, minted by WithClip from the
+	// shared ids counter; spans, log lines and journal entries from
+	// this scope all carry it.
+	trace string
+	ids   *atomic.Int64
 
 	stageNS [numStages]*Histogram
 
@@ -90,6 +104,7 @@ func NewScope(reg *Registry) *Scope {
 	}
 	sc := &Scope{
 		reg:        reg,
+		ids:        new(atomic.Int64),
 		frames:     reg.Counter("pipeline.frames"),
 		graphFail:  reg.Counter("pipeline.graph_fail"),
 		pruned:     reg.Counter("pipeline.pruned_branches"),
@@ -141,6 +156,54 @@ func (sc *Scope) SetTracer(t *Tracer) {
 	sc.tracer = t
 }
 
+// SetJournal attaches the error journal classified failures are
+// recorded into; nil detaches. Must be set before the scope is shared
+// across goroutines.
+func (sc *Scope) SetJournal(j *Journal) {
+	if sc == nil {
+		return
+	}
+	sc.journal = j
+}
+
+// Journal returns the attached error journal (nil when none).
+func (sc *Scope) Journal() *Journal {
+	if sc == nil {
+		return nil
+	}
+	return sc.journal
+}
+
+// SetLogger attaches a structured event logger; nil detaches. WithClip
+// children derive per-clip loggers carrying the clip and trace-ID
+// attrs. Must be set before the scope is shared across goroutines.
+func (sc *Scope) SetLogger(l *slog.Logger) {
+	if sc == nil {
+		return
+	}
+	sc.logger = l
+}
+
+// Logger returns the scope's event logger: the per-clip child on a
+// WithClip scope, the base logger on the root, nil when logging is
+// off. Callers must nil-check (and usually Enabled-check) before
+// building attrs.
+func (sc *Scope) Logger() *slog.Logger {
+	if sc == nil {
+		return nil
+	}
+	return sc.logger
+}
+
+// TraceID returns the scope's clip trace ID ("" on the root scope or
+// a nil scope).
+func (sc *Scope) TraceID() string {
+	if sc == nil {
+		return ""
+	}
+	return sc.trace
+}
+
 // Parallel exposes the worker instrument block for internal/parallel
 // (nil on a nil scope, which parallel treats as disabled).
 func (sc *Scope) Parallel() *ParallelStats {
@@ -150,17 +213,59 @@ func (sc *Scope) Parallel() *ParallelStats {
 	return sc.par
 }
 
-// WithClip returns a copy of the scope labelled with a clip name; spans
-// started from it carry the label into the JSONL trace. Instruments are
-// shared with the parent — only the label differs. Returns nil on a nil
-// scope.
+// WithClip returns a copy of the scope labelled with a clip name and a
+// freshly minted trace ID: spans, log lines and journal entries from
+// the child all carry both, so one clip's records correlate across
+// every output. Instruments are shared with the parent — only the
+// labels differ. Returns nil on a nil scope.
 func (sc *Scope) WithClip(name string) *Scope {
 	if sc == nil {
 		return nil
 	}
 	child := *sc
 	child.clip = name
+	if sc.ids != nil {
+		child.trace = traceID(sc.ids.Add(1))
+	}
+	if sc.logger != nil {
+		child.logger = sc.logger.With(slog.String("clip", name), slog.String("trace", child.trace))
+	}
 	return &child
+}
+
+// traceID renders a deterministic per-dispatch correlation ID. IDs are
+// a process-local counter, not randomness: the nondet analyzer keeps
+// the pipeline packages entropy-free, and deterministic IDs make trace
+// output diffable across runs.
+func traceID(n int64) string {
+	return fmt.Sprintf("t%06d", n)
+}
+
+// RecordError classifies and records a failure: the journal gets an
+// entry under class (carrying the scope's clip and trace ID — a fresh
+// ID is minted for root-scope errors so journal and log still
+// correlate), and the event log gets an error-level line. Safe on a
+// nil scope; err == nil is a no-op.
+func (sc *Scope) RecordError(class ErrClass, err error) {
+	if sc == nil || err == nil {
+		return
+	}
+	trace := sc.trace
+	if trace == "" && sc.ids != nil {
+		trace = traceID(sc.ids.Add(1))
+	}
+	msg := err.Error()
+	sc.journal.Record(class, trace, sc.clip, -1, msg)
+	if sc.logger != nil {
+		if sc.trace != "" {
+			// The per-clip logger already carries clip+trace attrs.
+			sc.logger.LogAttrs(context.Background(), slog.LevelError, msg,
+				slog.String("class", class.String()))
+		} else {
+			sc.logger.LogAttrs(context.Background(), slog.LevelError, msg,
+				slog.String("class", class.String()), slog.String("trace", trace))
+		}
+	}
 }
 
 // Span is one in-flight stage timing. It is a small value (no pointer
@@ -190,7 +295,7 @@ func (sp Span) End() {
 	ns := time.Since(sp.t0).Nanoseconds()
 	sp.sc.stageNS[sp.st].Observe(ns)
 	if sp.sc.tracer != nil {
-		sp.sc.tracer.emit(sp.sc.clip, sp.st, sp.t0, ns) //slj:alloc-ok tracing is opt-in; with no tracer attached this branch is never taken
+		sp.sc.tracer.emit(sp.sc.clip, sp.sc.trace, sp.st, sp.t0, ns) //slj:alloc-ok tracing is opt-in; with no tracer attached this branch is never taken
 	}
 }
 
@@ -202,12 +307,18 @@ func (sc *Scope) FrameDone() {
 	sc.frames.Inc()
 }
 
-// GraphFail counts a silhouette whose skeleton graph could not be built.
+// GraphFail counts a silhouette whose skeleton graph could not be
+// built, journaling it as a degenerate skeleton.
 func (sc *Scope) GraphFail() {
 	if sc == nil {
 		return
 	}
 	sc.graphFail.Inc()
+	sc.journal.Record(ErrClassDegenerateSkeleton, sc.trace, sc.clip, -1, "skeleton graph build failed") //slj:alloc-ok failure-path journaling; Record lands in preallocated rings, no per-record allocation
+	if sc.logger != nil && sc.logger.Enabled(context.Background(), slog.LevelDebug) {                   //slj:alloc-ok level probe only; Enabled and context.Background allocate nothing
+		sc.logger.LogAttrs(context.Background(), slog.LevelDebug, "skeleton graph build failed", //slj:alloc-ok debug logging is level-gated; the guard above keeps the disabled path alloc-free
+			slog.String("class", ErrClassDegenerateSkeleton.String()))
+	}
 }
 
 // Pruned adds n pruned noisy branches (skelgraph.Prune's return value).
@@ -237,17 +348,27 @@ func (sc *Scope) GraphStats(loopsCut, junctionsMerged int) {
 }
 
 // KeyPointMiss counts a frame whose key points could not be located;
-// degenerate and noTorso attribute the sentinel cause.
+// degenerate and noTorso attribute the sentinel cause, which also
+// picks the journal class (degenerate_skeleton / no_torso /
+// keypoint_miss).
 func (sc *Scope) KeyPointMiss(degenerate, noTorso bool) {
 	if sc == nil {
 		return
 	}
 	sc.kpMiss.Inc()
+	class, msg := ErrClassKeypointMiss, "key points not located"
 	if degenerate {
 		sc.kpDegen.Inc()
+		class, msg = ErrClassDegenerateSkeleton, "key points not located: degenerate skeleton"
 	}
 	if noTorso {
 		sc.kpNoTorso.Inc()
+		class, msg = ErrClassNoTorso, "key points not located: no torso"
+	}
+	sc.journal.Record(class, sc.trace, sc.clip, -1, msg)                              //slj:alloc-ok failure-path journaling; Record lands in preallocated rings, no per-record allocation
+	if sc.logger != nil && sc.logger.Enabled(context.Background(), slog.LevelDebug) { //slj:alloc-ok level probe only; Enabled and context.Background allocate nothing
+		sc.logger.LogAttrs(context.Background(), slog.LevelDebug, msg, //slj:alloc-ok debug logging is level-gated; the guard above keeps the disabled path alloc-free
+			slog.String("class", class.String()))
 	}
 }
 
@@ -263,8 +384,9 @@ func (sc *Scope) HandAbsent() {
 
 // Decision counts one DBN decision made while the session believed the
 // jump was in jumpStage (1..4; anything else lands in bucket 0).
-// unknown marks a Th_Pose fallback to PoseUnknown.
-func (sc *Scope) Decision(jumpStage int, unknown bool) {
+// unknown marks a Th_Pose fallback to PoseUnknown, which is journaled
+// under dbn_unknown with the frame index (pass -1 when unknown).
+func (sc *Scope) Decision(jumpStage, frame int, unknown bool) {
 	if sc == nil {
 		return
 	}
@@ -274,6 +396,13 @@ func (sc *Scope) Decision(jumpStage int, unknown bool) {
 	sc.decided[jumpStage].Inc()
 	if unknown {
 		sc.unknown[jumpStage].Inc()
+		sc.journal.Record(ErrClassDBNUnknown, sc.trace, sc.clip, frame, "dbn decided PoseUnknown")
+		if sc.logger != nil && sc.logger.Enabled(context.Background(), slog.LevelDebug) {
+			sc.logger.LogAttrs(context.Background(), slog.LevelDebug, "dbn decided PoseUnknown", //slj:alloc-ok debug logging is level-gated; the guard above keeps the disabled path alloc-free
+				slog.String("class", ErrClassDBNUnknown.String()),
+				slog.Int("frame", frame),
+				slog.Int("jump_stage", jumpStage))
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -130,4 +131,147 @@ func TestServeCloseWaitsForInFlightScrape(t *testing.T) {
 	if _, err := http.Get("http://" + srv.Addr() + "/debug/metrics"); err == nil {
 		t.Error("GET after Close succeeded; listener should be closed")
 	}
+}
+
+// TestServeErrorsAndHealthEndpoints covers the flight-recorder
+// endpoints: /debug/errors serves the journal with exemplars, and
+// /debug/health serves the verdict — 200 while ready or degraded, 503
+// only once the process is failing its SLOs.
+func TestServeErrorsAndHealthEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	smp := NewSampler(reg, time.Hour, 8)
+	journal := NewJournal(reg, 32)
+	health, err := NewHealthEvaluator(reg, smp, journal, []SLOSpec{
+		{Name: "decode_errors", Kind: SLORatio, Bad: "errors.decode",
+			Total: "dataset.clips_streamed", Budget: 0.01,
+			FailingBurn: 2, Class: ErrClassDecode},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeWith("127.0.0.1:0", ServeConfig{
+		Registry: reg, Sampler: smp, Journal: journal, Health: health,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Healthy: empty journal, ready verdict, both endpoints 200. The
+	// tick establishes the sampler's rate baseline for the later ones.
+	smp.Tick()
+	health.Eval()
+	var js JournalSnapshot
+	if err := json.Unmarshal([]byte(mustGet(t, srv.Addr(), "/debug/errors")), &js); err != nil {
+		t.Fatalf("/debug/errors invalid JSON: %v", err)
+	}
+	if js.Total != 0 || js.Schema != JournalSchema {
+		t.Errorf("fresh /debug/errors = %+v", js)
+	}
+	var hs HealthSnapshot
+	if err := json.Unmarshal([]byte(mustGet(t, srv.Addr(), "/debug/health")), &hs); err != nil {
+		t.Fatalf("/debug/health invalid JSON: %v", err)
+	}
+	if hs.Verdict != VerdictReady || !hs.Ready {
+		t.Errorf("fresh /debug/health = %+v", hs)
+	}
+
+	// One decode error against ten clips: degraded, still 200, and the
+	// journal entry and the health reason share one trace ID.
+	reg.Counter("dataset.clips_streamed").Add(10)
+	journal.Record(ErrClassDecode, "t000009", "clip-bad", -1, "torn header")
+	health.Eval()
+	if err := json.Unmarshal([]byte(mustGet(t, srv.Addr(), "/debug/errors")), &js); err != nil {
+		t.Fatal(err)
+	}
+	if js.Total != 1 || len(js.Classes) != 1 || js.Classes[0].Exemplars[0].Trace != "t000009" {
+		t.Errorf("degraded /debug/errors = %+v", js)
+	}
+	body := mustGet(t, srv.Addr(), "/debug/health") // degraded still answers 200
+	if err := json.Unmarshal([]byte(body), &hs); err != nil {
+		t.Fatal(err)
+	}
+	if hs.Verdict != VerdictDegraded || hs.Ready {
+		t.Errorf("degraded /debug/health = %+v", hs)
+	}
+	if !strings.Contains(body, "t000009") {
+		t.Errorf("/debug/health reason missing the journal trace ID:\n%s", body)
+	}
+
+	// Both windows hot: failing answers 503 with the snapshot attached.
+	smp.Tick() // fast window now sees the error rate
+	health.Eval()
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("failing /debug/health status = %d, want 503\n%s", resp.StatusCode, body2)
+	}
+	if err := json.Unmarshal(body2, &hs); err != nil || hs.Verdict != VerdictFailing {
+		t.Errorf("failing /debug/health body = %+v (%v)", hs, err)
+	}
+}
+
+// TestServeCloseStopsHealthAndFlushesLogs extends the shutdown
+// contract: Close must freeze the SLO evaluator (no late tick flips the
+// verdict after shutdown) and flush the log sink so the run's last
+// events are on disk before Close returns.
+func TestServeCloseStopsHealthAndFlushesLogs(t *testing.T) {
+	reg := NewRegistry()
+	smp := NewSampler(reg, time.Hour, 8)
+	journal := NewJournal(reg, 32)
+	health, err := NewHealthEvaluator(reg, smp, journal, DefaultSLOs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf syncBuffer
+	sink := NewLineSink(&logBuf)
+	logger := NewLogger(sink, 0)
+
+	srv, err := ServeWith("127.0.0.1:0", ServeConfig{
+		Registry: reg, Sampler: smp, Journal: journal,
+		Health: health, LogSink: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("last words") // buffered in the sink, not yet flushed
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !health.Stopped() {
+		t.Error("Close did not stop the health evaluator")
+	}
+	if got := logBuf.String(); !strings.Contains(got, "last words") {
+		t.Errorf("Close did not flush the log sink; got %q", got)
+	}
+	// A late sampler tick after Close must not re-evaluate the verdict.
+	reg.Counter("dataset.clips_streamed").Add(1)
+	journal.Record(ErrClassDecode, "t000001", "late", -1, "late error")
+	health.Eval()
+	if got := health.Health(); got != VerdictReady {
+		t.Errorf("late Eval after Close changed verdict to %v", got)
+	}
+}
+
+// syncBuffer guards a bytes-like buffer; the sink flushes from Close
+// while the test goroutine reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSLOSpecValidate(t *testing.T) {
+	good := SLOSpec{Name: "frame_p99", Kind: SLOQuantile, Metric: "stage.frame.ns", Quantile: 0.99, TargetNS: 1e6}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid quantile spec rejected: %v", err)
+	}
+	for _, bad := range []SLOSpec{
+		{Name: "Frame-P99", Kind: SLOQuantile, Metric: "m", TargetNS: 1},      // bad name grammar
+		{Name: "q", Kind: SLOQuantile, TargetNS: 1},                           // no metric
+		{Name: "q", Kind: SLOQuantile, Metric: "m"},                           // no target
+		{Name: "r", Kind: SLORatio, Bad: "b", Budget: 0.1},                    // no total
+		{Name: "r", Kind: SLORatio, Bad: "b", Total: "t"},                     // no budget
+		{Name: "k", Kind: SLOKind(99), Metric: "m", TargetNS: 1},              // unknown kind
+		{Name: "slo name", Kind: SLORatio, Bad: "b", Total: "t", Budget: 0.1}, // space in name
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid spec accepted: %+v", bad)
+		}
+	}
+}
+
+func TestSLOQuantileEval(t *testing.T) {
+	spec := SLOSpec{Name: "frame_p99", Kind: SLOQuantile, Metric: "stage.frame.ns", Quantile: 0.99, TargetNS: 250e6}
+
+	// Healthy: lifetime quantile far under target, no sampler points.
+	reg := NewRegistry()
+	h := reg.Histogram("stage.frame.ns", LatencyBounds)
+	for i := 0; i < 100; i++ {
+		h.Observe(2_000_000) // 2ms
+	}
+	st := spec.Eval(TimeSeries{}, reg.Snapshot())
+	if st.Level != "ok" || st.Reason != "" {
+		t.Errorf("healthy eval = %+v, want ok", st)
+	}
+	if st.BurnSlow <= 0 || st.BurnSlow >= 1 {
+		t.Errorf("healthy burn slow = %v, want in (0,1)", st.BurnSlow)
+	}
+
+	// Slow-window breach: lifetime p99 over target.
+	reg2 := NewRegistry()
+	h2 := reg2.Histogram("stage.frame.ns", LatencyBounds)
+	for i := 0; i < 100; i++ {
+		h2.Observe(600_000_000) // 600ms > 250ms target
+	}
+	st = spec.Eval(TimeSeries{}, reg2.Snapshot())
+	if st.Level != "degraded" {
+		t.Errorf("slow breach level = %q, want degraded", st.Level)
+	}
+	if !strings.Contains(st.Reason, "stage.frame.ns") || !strings.Contains(st.Reason, "p99") {
+		t.Errorf("breach reason %q names neither metric nor quantile", st.Reason)
+	}
+
+	// Fast-window breach alone also degrades: sampler points over
+	// target while the lifetime histogram is healthy.
+	ts := TimeSeries{Series: []Series{{Name: "stage.frame.ns.p99", Points: []float64{500e6, 500e6, 500e6}}}}
+	st = spec.Eval(ts, reg.Snapshot())
+	if st.Level != "degraded" || st.BurnFast < 1 {
+		t.Errorf("fast breach = %+v, want degraded with burn fast >= 1", st)
+	}
+}
+
+func TestSLORatioEval(t *testing.T) {
+	spec := SLOSpec{Name: "decode_errors", Kind: SLORatio, Bad: "errors.decode", Total: "dataset.clips_streamed", Budget: 0.01}
+
+	// No traffic at all: ok.
+	st := spec.Eval(TimeSeries{}, NewRegistry().Snapshot())
+	if st.Level != "ok" || st.Value != 0 {
+		t.Errorf("idle eval = %+v, want ok", st)
+	}
+
+	// Failures with zero successes: the degenerate ratio counts as a
+	// fully burned budget, not a division-by-zero pass.
+	reg := NewRegistry()
+	reg.Counter("errors.decode").Add(3)
+	st = spec.Eval(TimeSeries{}, reg.Snapshot())
+	if st.Level != "degraded" || st.Value != 1 {
+		t.Errorf("all-failed eval = %+v, want degraded with value 1", st)
+	}
+
+	// Ratio over budget degrades; under budget stays ok.
+	reg2 := NewRegistry()
+	reg2.Counter("errors.decode").Add(1)
+	reg2.Counter("dataset.clips_streamed").Add(10) // 10% >> 1% budget
+	st = spec.Eval(TimeSeries{}, reg2.Snapshot())
+	if st.Level != "degraded" {
+		t.Errorf("over-budget eval = %+v, want degraded", st)
+	}
+	reg3 := NewRegistry()
+	reg3.Counter("dataset.clips_streamed").Add(1000)
+	reg3.Counter("errors.decode").Add(1) // 0.1% < 1% budget
+	st = spec.Eval(TimeSeries{}, reg3.Snapshot())
+	if st.Level != "ok" {
+		t.Errorf("under-budget eval = %+v, want ok", st)
+	}
+
+	// FailingBurn escalates only when BOTH windows burn hot.
+	hot := spec
+	hot.FailingBurn = 5
+	ts := TimeSeries{Series: []Series{
+		{Name: "errors.decode.rate", Points: []float64{10, 10}},
+		{Name: "dataset.clips_streamed.rate", Points: []float64{10, 10}},
+	}}
+	st = hot.Eval(ts, reg2.Snapshot()) // fast burn 100, slow burn 10
+	if st.Level != "failing" {
+		t.Errorf("both-windows-hot eval = %+v, want failing", st)
+	}
+	st = hot.Eval(TimeSeries{}, reg2.Snapshot()) // fast burn 0: degraded only
+	if st.Level != "degraded" {
+		t.Errorf("slow-only eval = %+v, want degraded (failing needs both windows)", st)
+	}
+}
+
+func TestHealthEvaluatorVerdictAndTrace(t *testing.T) {
+	reg := NewRegistry()
+	smp := NewSampler(reg, time.Hour, 8)
+	journal := NewJournal(reg, 32)
+	h, err := NewHealthEvaluator(reg, smp, journal, DefaultSLOs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh run: ready before and after the first eval.
+	if h.Health() != VerdictReady || !h.Ready() {
+		t.Error("fresh evaluator not ready")
+	}
+	h.Eval()
+	if got := h.Health(); got != VerdictReady {
+		t.Errorf("healthy eval verdict = %v, want ready", got)
+	}
+
+	// A journaled decode error breaches decode_errors; the breach state
+	// carries the journal exemplar's trace ID.
+	reg.Counter("dataset.clips_streamed").Add(10)
+	journal.Record(ErrClassDecode, "t000042", "clip-bad", -1, "torn header")
+	h.Eval()
+	if got := h.Health(); got != VerdictDegraded {
+		t.Fatalf("verdict = %v, want degraded", got)
+	}
+	if h.Ready() {
+		t.Error("degraded evaluator reports Ready")
+	}
+	snap := h.Snapshot()
+	var decodeState *SLOState
+	for i := range snap.SLOs {
+		if snap.SLOs[i].Name == "decode_errors" {
+			decodeState = &snap.SLOs[i]
+		}
+	}
+	if decodeState == nil {
+		t.Fatalf("no decode_errors state in %+v", snap.SLOs)
+	}
+	if decodeState.Level != "degraded" {
+		t.Errorf("decode_errors level = %q, want degraded", decodeState.Level)
+	}
+	if decodeState.Trace != "t000042" || !strings.Contains(decodeState.Reason, "t000042") {
+		t.Errorf("breach state does not carry journal trace: %+v", decodeState)
+	}
+	if len(snap.Reasons) == 0 || !strings.Contains(snap.Reasons[0], "decode_errors") {
+		t.Errorf("snapshot reasons = %v", snap.Reasons)
+	}
+
+	// The slo.* gauges and health.state export the same verdict.
+	gauges := map[string]int64{}
+	for _, g := range reg.Snapshot().Gauges {
+		gauges[g.Name] = g.Value
+	}
+	if gauges["health.state"] != int64(VerdictDegraded) {
+		t.Errorf("health.state gauge = %d, want %d", gauges["health.state"], VerdictDegraded)
+	}
+	if gauges["slo.decode_errors.level"] != int64(SLODegraded) {
+		t.Errorf("slo.decode_errors.level gauge = %d, want %d", gauges["slo.decode_errors.level"], SLODegraded)
+	}
+	if gauges["slo.decode_errors.burn_slow_milli"] < 1000 {
+		t.Errorf("burn_slow_milli = %d, want >= 1000", gauges["slo.decode_errors.burn_slow_milli"])
+	}
+
+	// Stop freezes the verdict: clearing the breach no longer helps.
+	h.Stop()
+	if !h.Stopped() {
+		t.Error("Stopped() false after Stop")
+	}
+	reg.Counter("dataset.clips_streamed").Add(100000)
+	h.Eval()
+	if got := h.Health(); got != VerdictDegraded {
+		t.Errorf("verdict after Stop = %v, want frozen degraded", got)
+	}
+
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back HealthSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("WriteJSON output invalid: %v", err)
+	}
+	if back.Verdict != VerdictDegraded || back.Ready {
+		t.Errorf("decoded snapshot = %+v", back)
+	}
+}
+
+func TestHealthEvaluatorNilSafe(t *testing.T) {
+	var h *HealthEvaluator
+	h.Eval()
+	h.Stop()
+	if h.Health() != VerdictReady || !h.Ready() || h.Stopped() {
+		t.Error("nil evaluator not inertly ready")
+	}
+	snap := h.Snapshot()
+	if snap.Verdict != VerdictReady || !snap.Ready {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Errorf("nil WriteJSON = %v", err)
+	}
+
+	// Nil registry yields a nil evaluator, not an error.
+	got, err := NewHealthEvaluator(nil, nil, nil, DefaultSLOs())
+	if got != nil || err != nil {
+		t.Errorf("NewHealthEvaluator(nil reg) = %v, %v", got, err)
+	}
+
+	// Invalid specs are rejected up front.
+	if _, err := NewHealthEvaluator(NewRegistry(), nil, nil, []SLOSpec{{Name: "Bad Name"}}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+// TestHealthRidesSamplerTick wires the evaluator to the sampler hook
+// the way the CLI does and checks a tick produces a verdict.
+func TestHealthRidesSamplerTick(t *testing.T) {
+	reg := NewRegistry()
+	smp := NewSampler(reg, time.Hour, 8)
+	smp.Start()
+	defer smp.Stop()
+	journal := NewJournal(reg, 32)
+	h, err := NewHealthEvaluator(reg, smp, journal, DefaultSLOs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp.SetOnTick(h.Eval)
+
+	reg.Counter("dataset.clips_streamed").Add(5)
+	journal.Record(ErrClassDecode, "t000007", "clip-z", -1, "bad magic")
+	smp.Tick()
+	if got := h.Health(); got != VerdictDegraded {
+		t.Errorf("verdict after tick = %v, want degraded", got)
+	}
+	if snap := h.Snapshot(); snap.Ticks < 1 {
+		t.Errorf("ticks = %d, want >= 1", snap.Ticks)
+	}
+}

@@ -96,6 +96,7 @@ type Sampler struct {
 	havePrev bool
 	series   map[string]*ring
 	ticks    int64
+	onTick   func()
 
 	stop chan struct{}
 	done chan struct{}
@@ -173,6 +174,19 @@ func (s *Sampler) Stop() {
 	s.Tick()
 }
 
+// SetOnTick installs a callback run after every Tick, outside the
+// sampler's lock — the health evaluator rides it so SLO windows are
+// re-evaluated exactly once per sample, with no second timer
+// goroutine. nil removes the callback. Safe on a nil sampler.
+func (s *Sampler) SetOnTick(fn func()) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.onTick = fn
+	s.mu.Unlock()
+}
+
 // Tick takes one sample now, deriving rates from the wall time elapsed
 // since the previous sample. Exported so tests (and -once consumers) can
 // drive the sampler deterministically without the background goroutine.
@@ -183,7 +197,6 @@ func (s *Sampler) Tick() {
 	snap := s.reg.Snapshot()
 	now := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	elapsed := s.interval
 	if s.havePrev {
 		if d := now.Sub(s.prevAt); d > 0 {
@@ -192,6 +205,11 @@ func (s *Sampler) Tick() {
 	}
 	s.sampleLocked(snap, elapsed)
 	s.prev, s.prevAt, s.havePrev = snap, now, true
+	fn := s.onTick
+	s.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 }
 
 // sample folds one snapshot with an explicit elapsed window; tests use

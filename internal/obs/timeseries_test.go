@@ -133,7 +133,7 @@ func TestSamplerStartStopRace(t *testing.T) {
 			}
 			sc.FrameDone()
 			sc.Start(StageThin).End()
-			sc.Decision(2, false)
+			sc.Decision(2, -1, false)
 		}
 	}()
 	wg.Add(1)

@@ -1,41 +1,43 @@
 package obs
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
-	"sync"
 	"time"
 )
 
 // Tracer streams span records as JSON Lines: one object per completed
 // span, e.g.
 //
-//	{"t_us":12345678,"clip":"train-03","stage":"thin","ns":84125}
+//	{"t_us":12345678,"clip":"train-03","trace":"t000007","stage":"thin","ns":84125}
 //
 // t_us is the span start in microseconds since the tracer was opened,
-// so traces are diffable across runs. Records are hand-formatted into a
-// reusable buffer under a mutex — the tracer is shared by all engine
-// workers and must not interleave lines or allocate per span beyond the
-// buffered writer's amortised growth.
+// so traces are diffable across runs; trace is the clip's engine-
+// dispatch trace ID (absent on unlabelled scopes), the same ID its log
+// lines and error-journal entries carry. Records are hand-formatted
+// into the LineSink's reused buffer under its mutex — the tracer is
+// shared by all engine workers and must not interleave lines or
+// allocate per span beyond the buffered writer's amortised growth. The
+// sink may be shared with a LogHandler (-spans and -log pointing at
+// one file): both producers then serialise through the same lock.
 type Tracer struct {
-	mu    sync.Mutex
-	w     *bufio.Writer
-	c     io.Closer
+	sink  *LineSink
 	epoch time.Time
-	buf   []byte
+	owned bool // Close closes the sink (vs. shared with the log handler)
 }
 
 // NewTracer wraps w; Close flushes and, when w is also an io.Closer,
 // closes it.
 func NewTracer(w io.Writer) *Tracer {
-	t := &Tracer{w: bufio.NewWriterSize(w, 1<<16), epoch: time.Now()}
-	if c, ok := w.(io.Closer); ok {
-		t.c = c
-	}
-	return t
+	return &Tracer{sink: NewLineSink(w), epoch: time.Now(), owned: true}
+}
+
+// NewTracerSink emits onto an existing (possibly shared) sink; Close
+// flushes but leaves the sink open for its other producers.
+func NewTracerSink(sink *LineSink) *Tracer {
+	return &Tracer{sink: sink, epoch: time.Now()}
 }
 
 // OpenTrace creates (truncates) a JSONL trace file at path.
@@ -48,43 +50,42 @@ func OpenTrace(path string) (*Tracer, error) {
 }
 
 // emit appends one span record. Safe for concurrent use.
-func (t *Tracer) emit(clip string, st Stage, start time.Time, ns int64) {
+func (t *Tracer) emit(clip, trace string, st Stage, start time.Time, ns int64) {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	b := t.buf[:0]
+	b := t.sink.line()
 	b = append(b, `{"t_us":`...)
 	b = strconv.AppendInt(b, start.Sub(t.epoch).Microseconds(), 10)
 	if clip != "" {
 		b = append(b, `,"clip":`...)
 		b = strconv.AppendQuote(b, clip)
 	}
+	if trace != "" {
+		b = append(b, `,"trace":`...)
+		b = strconv.AppendQuote(b, trace)
+	}
 	b = append(b, `,"stage":"`...)
 	b = append(b, st.String()...)
 	b = append(b, `","ns":`...)
 	b = strconv.AppendInt(b, ns, 10)
 	b = append(b, '}', '\n')
-	t.buf = b
-	_, _ = t.w.Write(b)
-	t.mu.Unlock()
+	t.sink.commit(b)
 }
 
-// Close flushes buffered records and closes the underlying file, if
-// any. Safe on a nil tracer.
+// Close flushes buffered records and, when the tracer owns its sink,
+// closes the underlying file. Safe on a nil tracer.
 func (t *Tracer) Close() error {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	err := t.w.Flush()
-	if t.c != nil {
-		if cerr := t.c.Close(); err == nil {
-			err = cerr
+	if t.owned {
+		if err := t.sink.Close(); err != nil {
+			return fmt.Errorf("obs: closing trace: %w", err)
 		}
+		return nil
 	}
-	if err != nil {
+	if err := t.sink.Flush(); err != nil {
 		return fmt.Errorf("obs: closing trace: %w", err)
 	}
 	return nil

@@ -12,6 +12,7 @@ import (
 type spanRecord struct {
 	TUS   int64  `json:"t_us"`
 	Clip  string `json:"clip"`
+	Trace string `json:"trace"`
 	Stage string `json:"stage"`
 	NS    int64  `json:"ns"`
 }
@@ -84,6 +85,11 @@ func WriteTraceEvents(r io.Reader, w io.Writer) error {
 		buf = strconv.AppendFloat(buf, float64(rec.NS)/1e3, 'f', 3, 64)
 		buf = append(buf, `,"pid":1,"tid":`...)
 		buf = strconv.AppendInt(buf, int64(tid), 10)
+		if rec.Trace != "" {
+			buf = append(buf, `,"args":{"trace":`...)
+			buf = strconv.AppendQuote(buf, rec.Trace)
+			buf = append(buf, '}')
+		}
 		buf = append(buf, '}')
 		if err := emit(buf); err != nil {
 			return fmt.Errorf("obs: writing trace events: %w", err)
