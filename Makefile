@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet sljcheck lint lint-hotpath test race test-race bench bench-json bench-smoke bench-stream bench-gate bench-baseline report health-smoke experiments figures fuzz clean
+.PHONY: all build vet sljcheck lint lint-hotpath test race test-race bench bench-json bench-smoke bench-stream bench-gate bench-baseline report health-smoke serve-smoke experiments figures fuzz clean
 
 all: build lint test
 
@@ -31,7 +31,7 @@ test:
 	go test ./...
 
 race:
-	go test -race -timeout 45m ./internal/extract/ ./internal/bayes/ ./internal/dbn/ ./internal/track/ ./internal/parallel/ ./internal/obs/ .
+	go test -race -timeout 45m ./internal/extract/ ./internal/bayes/ ./internal/dbn/ ./internal/track/ ./internal/parallel/ ./internal/obs/ ./internal/serve/ .
 
 # Full race sweep — every package, including the parallel engine's golden
 # tests. Slower than `race`; run before merging concurrency changes.
@@ -121,6 +121,13 @@ health-smoke:
 	grep -q '"class": "decode"' ERRORS_smoke.json
 	TRACE=$$(grep -o '"trace": "t[0-9]*"' ERRORS_smoke.json | head -1); \
 	test -n "$$TRACE" && grep -qF "$$TRACE" HEALTH_smoke.json
+
+# Serving-layer smoke: start sljserve on an ephemeral port, drive it
+# with sljload, and assert the serving contract end to end — clean run
+# fully served with zero pool-leak gauges, overload run shed with 503,
+# SIGTERM drains and exits 0. See scripts/serve_smoke.sh.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Regenerate every paper figure/result at full size (see DESIGN.md §4).
 experiments:

@@ -286,6 +286,7 @@ func NewSystem(opts ...Option) (*System, error) {
 		reg.RegisterFunc("imaging.pool.hits", func() int64 { h, _, _ := imaging.PoolCounters(); return h })
 		reg.RegisterFunc("imaging.pool.misses", func() int64 { _, m, _ := imaging.PoolCounters(); return m })
 		reg.RegisterFunc("imaging.pool.double_puts", func() int64 { _, _, d := imaging.PoolCounters(); return d })
+		reg.RegisterFunc("imaging.pool.balance", imaging.PoolBalance)
 	}
 	cfg := dbn.DefaultConfig()
 	if o.Classifier != nil {
@@ -576,6 +577,14 @@ func (s *System) clipSilhouettes(lc dataset.LabeledClip) ([]*imaging.Binary, err
 	for i := range lc.Clip.Frames {
 		sil, err := src(i)
 		if err != nil {
+			// Same release rule as analyzeClip's success path: silhouettes
+			// already extracted for earlier frames are pool-owned and must
+			// not leak just because a later frame failed to decode.
+			if s.scratch != nil && !s.opts.UseGroundTruthSilhouettes {
+				for _, prev := range out {
+					imaging.PutBinary(prev)
+				}
+			}
 			return nil, err
 		}
 		out = append(out, sil)

@@ -1,0 +1,242 @@
+// Command sljload drives a running sljserve with synthetic clips at a
+// target offered load and reports what the server actually delivered:
+// client-side and server-side latency quantiles (p50/p95/p99 from the
+// same stage histograms the run reports use), success/shed/failure
+// counts, and the server's health verdict and pool-leak gauges after
+// the run — the serving twin of the batch RUN_REPORT.
+//
+// Usage:
+//
+//	sljload -addr 127.0.0.1:8080 -clips 200 -qps 50 [-out LOAD_REPORT.json]
+//
+// The loop is open: requests are dispatched on the QPS clock regardless
+// of how many are still in flight, so an overloaded server is observed
+// shedding (503) rather than silently serialising the offered load.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// LoadReport is the JSON artifact sljload writes: offered vs delivered
+// load, client latency quantiles, the server-side request histogram
+// delta over the run, and the post-run health/leak readings the smoke
+// harness greps.
+type LoadReport struct {
+	Schema     int     `json:"schema"`
+	Addr       string  `json:"addr"`
+	Clips      int     `json:"clips"`
+	OfferedQPS float64 `json:"offered_qps"`
+	WallNS     int64   `json:"wall_ns"`
+
+	Succeeded int64 `json:"succeeded"`
+	Shed      int64 `json:"shed"`
+	Failed    int64 `json:"failed"`
+
+	ClientP50NS float64 `json:"client_p50_ns"`
+	ClientP95NS float64 `json:"client_p95_ns"`
+	ClientP99NS float64 `json:"client_p99_ns"`
+
+	// Server-side request latency over the run window, from the
+	// serve.request_ns histogram delta between two /debug/metrics scrapes.
+	Server obs.StageQuantiles `json:"server_request_ns"`
+
+	HealthReady            bool   `json:"health_ready"`
+	HealthVerdict          string `json:"health_verdict"`
+	EngineClipsCheckedOut  int64  `json:"engine_clips_checked_out"`
+	ImagingPoolBalance     int64  `json:"imaging_pool_balance"`
+	ServerInflightWorkers  int64  `json:"server_inflight_workers"`
+	ServerRequestsObserved int64  `json:"server_requests_observed"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sljload: ")
+
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "sljserve address")
+		clips   = flag.Int("clips", 200, "number of classify-clip requests to send")
+		qps     = flag.Float64("qps", 50, "offered load in requests per second (open loop)")
+		seed    = flag.Int64("seed", 1, "base synthetic-clip seed; request i uses seed+i")
+		out     = flag.String("out", "", "write the load report JSON here (stdout when empty)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	)
+	flag.Parse()
+	if *clips <= 0 || *qps <= 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: *timeout}
+
+	before, err := scrapeMetrics(client, base)
+	if err != nil {
+		log.Fatalf("scraping %s/debug/metrics: %v (is sljserve up?)", base, err)
+	}
+
+	// Client latencies go through the same histogram layout the server
+	// uses, so both sides of the report quantise identically.
+	lat := obs.NewRegistry().Histogram("load.client_ns", obs.LatencyBounds)
+
+	var succeeded, shed, failed atomic.Int64
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / *qps)
+	t0 := time.Now()
+	tick := time.NewTicker(interval)
+	for i := 0; i < *clips; i++ {
+		if i > 0 {
+			<-tick.C
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"method": "classify-clip", "params": {"synthetic": {"seed": %d}}, "id": %d}`, *seed+int64(i), i)
+			r0 := time.Now()
+			resp, err := client.Post(base+"/rpc", "application/json", bytes.NewReader([]byte(body)))
+			lat.Observe(time.Since(r0).Nanoseconds())
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				succeeded.Add(1)
+			case http.StatusServiceUnavailable:
+				shed.Add(1)
+			default:
+				failed.Add(1)
+			}
+		}(i)
+	}
+	tick.Stop()
+	wg.Wait()
+	wall := time.Since(t0)
+
+	// The server finishes its per-request accounting (budget release,
+	// latency observation) after the response is written; give those
+	// deferred updates a beat before the post-run scrape.
+	time.Sleep(200 * time.Millisecond)
+	after, err := scrapeMetrics(client, base)
+	if err != nil {
+		log.Fatalf("post-run metrics scrape: %v", err)
+	}
+	health, err := scrapeHealth(client, base)
+	if err != nil {
+		log.Fatalf("post-run health scrape: %v", err)
+	}
+
+	clientSnap := lat.Snapshot()
+	serverDelta := histogramNamed(after, "serve.request_ns").Sub(histogramNamed(before, "serve.request_ns"))
+	rep := LoadReport{
+		Schema:     1,
+		Addr:       *addr,
+		Clips:      *clips,
+		OfferedQPS: *qps,
+		WallNS:     wall.Nanoseconds(),
+		Succeeded:  succeeded.Load(),
+		Shed:       shed.Load(),
+		Failed:     failed.Load(),
+
+		ClientP50NS: clientSnap.Quantile(0.50),
+		ClientP95NS: clientSnap.Quantile(0.95),
+		ClientP99NS: clientSnap.Quantile(0.99),
+
+		Server: obs.StageQuantiles{
+			Name:   "serve.request_ns",
+			Count:  serverDelta.Count,
+			MeanNS: mean(serverDelta),
+			P50NS:  serverDelta.Quantile(0.50),
+			P95NS:  serverDelta.Quantile(0.95),
+			P99NS:  serverDelta.Quantile(0.99),
+		},
+
+		HealthReady:            health.Ready,
+		HealthVerdict:          health.Verdict.String(),
+		EngineClipsCheckedOut:  valueNamed(after, "serve.clips_checked_out"),
+		ImagingPoolBalance:     valueNamed(after, "imaging.pool.balance"),
+		ServerInflightWorkers:  valueNamed(after, "serve.inflight_workers"),
+		ServerRequestsObserved: valueNamed(after, "serve.requests") - valueNamed(before, "serve.requests"),
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d clips at %.1f qps in %s: %d ok, %d shed, %d failed; server p50 %.1fms p99 %.1fms",
+		*clips, *qps, wall.Round(time.Millisecond), rep.Succeeded, rep.Shed, rep.Failed,
+		rep.Server.P50NS/1e6, rep.Server.P99NS/1e6)
+}
+
+func scrapeMetrics(client *http.Client, base string) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	resp, err := client.Get(base + "/debug/metrics")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("status %s", resp.Status)
+	}
+	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+}
+
+func scrapeHealth(client *http.Client, base string) (obs.HealthSnapshot, error) {
+	var rep obs.HealthSnapshot
+	resp, err := client.Get(base + "/debug/health")
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	// A failing verdict answers 503 with the same JSON body; decode both.
+	return rep, json.NewDecoder(resp.Body).Decode(&rep)
+}
+
+func histogramNamed(snap obs.Snapshot, name string) obs.HistogramSnapshot {
+	for _, h := range snap.Histograms {
+		if h.Name == name {
+			return h.HistogramSnapshot
+		}
+	}
+	return obs.HistogramSnapshot{}
+}
+
+// valueNamed finds a counter or gauge by name (0 when absent).
+func valueNamed(snap obs.Snapshot, name string) int64 {
+	for _, m := range snap.Counters {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	for _, m := range snap.Gauges {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+func mean(s obs.HistogramSnapshot) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -158,6 +158,22 @@ func (e *Engine) pullFrom(src dataset.ClipSource) func() (dataset.LabeledClip, e
 	}
 }
 
+// pullWrapped is pullFrom with the package's error prefix applied to
+// failed pulls, matching what the sequential delegates report: a source
+// error surfaces as fmt.Errorf("slj: %w", err) regardless of worker
+// count. io.EOF passes through untouched — it terminates MapSource, it
+// is not a failure.
+func (e *Engine) pullWrapped(src dataset.ClipSource) func() (dataset.LabeledClip, error) {
+	pull := e.pullFrom(src)
+	return func() (dataset.LabeledClip, error) {
+		lc, err := pull()
+		if err != nil && err != io.EOF {
+			return lc, fmt.Errorf("slj: %w", err)
+		}
+		return lc, err
+	}
+}
+
 // trackClip counts a source clip checked out by a worker; the returned
 // func checks it back in. The high-water mark lands in the
 // engine.clips_in_flight gauge — peak decoded-clip residency, which the
@@ -198,7 +214,22 @@ func (t *seqTracked) Next() (dataset.LabeledClip, error) {
 	return lc, nil
 }
 
-func (t *seqTracked) Close() error { return t.src.Close() }
+// settle fires the pending checkin, if any. Next normally checks the
+// previous clip back in on the following pull; when the consumer aborts
+// early — a classify error, or Close before io.EOF — the last clip would
+// otherwise stay checked out forever, skewing the inflight accounting a
+// long-lived engine's admission control reads.
+func (t *seqTracked) settle() {
+	if t.checkin != nil {
+		t.checkin()
+		t.checkin = nil
+	}
+}
+
+func (t *seqTracked) Close() error {
+	t.settle()
+	return t.src.Close()
+}
 
 // Train trains the shared classifier on every clip, materialised-slice
 // form. It is a thin adapter over TrainSource.
@@ -219,13 +250,15 @@ func (e *Engine) Train(clips []dataset.LabeledClip) error {
 func (e *Engine) TrainSource(src dataset.ClipSource) error {
 	e.attachSource(src)
 	if e.workers <= 1 {
-		return e.sys.TrainSource(e.seqSource(src))
+		ts := e.seqSource(src)
+		defer ts.settle()
+		return e.sys.TrainSource(ts)
 	}
 	type clipSeq struct {
 		name   string
 		frames []dbn.LabeledFrame
 	}
-	seqs, err := parallel.MapSource(e.workers, e.pullFrom(src),
+	seqs, err := parallel.MapSource(e.workers, e.pullWrapped(src),
 		func(_ int, lc dataset.LabeledClip) (clipSeq, error) {
 			defer e.trackClip()()
 			s := e.acquire()
@@ -278,9 +311,11 @@ type clipScore struct {
 func (e *Engine) EvaluateSource(src dataset.ClipSource) (stats.Summary, *stats.Confusion, error) {
 	e.attachSource(src)
 	if e.workers <= 1 {
-		return e.sys.EvaluateSource(e.seqSource(src))
+		ts := e.seqSource(src)
+		defer ts.settle()
+		return e.sys.EvaluateSource(ts)
 	}
-	scores, err := parallel.MapSource(e.workers, e.pullFrom(src),
+	scores, err := parallel.MapSource(e.workers, e.pullWrapped(src),
 		func(_ int, lc dataset.LabeledClip) (clipScore, error) {
 			defer e.trackClip()()
 			s := e.acquire()
@@ -322,6 +357,7 @@ func (e *Engine) ClassifyAllSource(src dataset.ClipSource) ([][]dbn.Result, erro
 	e.attachSource(src)
 	if e.workers <= 1 {
 		ts := e.seqSource(src)
+		defer ts.settle()
 		var out [][]dbn.Result
 		for {
 			lc, err := ts.Next()
@@ -338,7 +374,7 @@ func (e *Engine) ClassifyAllSource(src dataset.ClipSource) ([][]dbn.Result, erro
 			out = append(out, res)
 		}
 	}
-	return parallel.MapSource(e.workers, e.pullFrom(src),
+	return parallel.MapSource(e.workers, e.pullWrapped(src),
 		func(_ int, lc dataset.LabeledClip) ([]dbn.Result, error) {
 			defer e.trackClip()()
 			s := e.acquire()
@@ -346,6 +382,16 @@ func (e *Engine) ClassifyAllSource(src dataset.ClipSource) ([][]dbn.Result, erro
 			return s.ClassifyClip(lc)
 		})
 }
+
+// CheckedOut reports the number of source clips currently checked out by
+// workers — the live value behind the engine.clips_in_flight gauge. A
+// quiescent engine reads zero; serving layers use this for leak checks
+// and admission accounting.
+func (e *Engine) CheckedOut() int64 { return e.inflight.Load() }
+
+// PoolFree reports how many worker Systems are currently free — the live
+// value behind the engine.pool_free gauge.
+func (e *Engine) PoolFree() int { return len(e.free) }
 
 // ClassifyClip decodes one clip. With more than one worker the per-frame
 // front end runs as a bounded two-stage pipeline (silhouette production,
@@ -415,14 +461,27 @@ func (s *System) classifyClipPipelined(lc dataset.LabeledClip) ([]dbn.Result, er
 			return t, nil
 		},
 	)
+	owned := s.scratch != nil && !s.opts.UseGroundTruthSilhouettes
 	if err != nil {
+		// Pipeline returns partial results on error: every token that
+		// cleared both stages before the failure still carries its
+		// silhouette. Stage 1 runs in frame order, so no silhouette is
+		// produced past the failing index — releasing the partial set
+		// returns everything the extractor handed out for this clip.
+		if owned {
+			for _, t := range out {
+				if t.sil != nil {
+					imaging.PutBinary(t.sil)
+				}
+			}
+		}
 		return nil, err
 	}
 	encs := make([]keypoint.Encoding, len(out))
 	for i, t := range out {
 		encs[i] = t.fa.Encoding
 	}
-	if s.scratch != nil && !s.opts.UseGroundTruthSilhouettes {
+	if owned {
 		// All stages have joined and the encodings are copied out, so the
 		// extractor-produced silhouettes can go back to the imaging pool.
 		for _, t := range out {

@@ -1,0 +1,188 @@
+package slj
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/imaging"
+	"repro/internal/synth"
+)
+
+// TestPipelinedErrorReleasesPooledSilhouettes injects a mid-clip decode
+// failure into the Engine's pipelined classify path and asserts the
+// imaging pool stays get/put balanced: silhouettes extracted for the
+// frames before the corrupt one must go back to the pool even though
+// the clip as a whole failed. A long-lived server classifying corrupt
+// uploads would otherwise bleed the pool one clip at a time.
+//
+// The first (warm-up) run lets every lazily-acquired escaping buffer
+// settle; the second run must then be perfectly balanced.
+func TestPipelinedErrorReleasesPooledSilhouettes(t *testing.T) {
+	ds, err := GenerateDataset(dataset.GenOptions{
+		TrainClips: 1, TestClips: 1, Seed: 73, FaultEvery: 0, VaryBody: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := saveCorpus(t, ds)
+
+	// Garble a frame in the middle of the clip: frames 0 and 1 extract
+	// fine (their silhouettes come out of the pool), frame 2 fails.
+	victim := filepath.Join(root, "test", "test-00", "frame-002.ppm")
+	if err := os.WriteFile(victim, []byte("not a ppm"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	src := openSplit(t, root, "test")
+	defer src.Close()
+	lc, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// workers > 1 routes ClassifyClip through classifyClipPipelined.
+	eng, err := NewEngine(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ClassifyClip(lc); err == nil {
+		t.Fatal("corrupt clip classified without error")
+	}
+
+	before := imaging.PoolBalance()
+	if _, err := eng.ClassifyClip(lc); err == nil {
+		t.Fatal("corrupt clip classified without error")
+	}
+	if leaked := imaging.PoolBalance() - before; leaked != 0 {
+		t.Fatalf("pipelined error path leaked %d pooled buffers (pool gets != puts across the failed clip)", leaked)
+	}
+}
+
+// TestBatchErrorReleasesPooledSilhouettes is the sequential-path twin:
+// clipSilhouettes must release already-extracted silhouettes when a
+// later frame fails to decode.
+func TestBatchErrorReleasesPooledSilhouettes(t *testing.T) {
+	ds, err := GenerateDataset(dataset.GenOptions{
+		TrainClips: 1, TestClips: 1, Seed: 74, FaultEvery: 0, VaryBody: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := saveCorpus(t, ds)
+	victim := filepath.Join(root, "test", "test-00", "frame-002.ppm")
+	if err := os.WriteFile(victim, []byte("not a ppm"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	src := openSplit(t, root, "test")
+	defer src.Close()
+	lc, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ClassifyClip(lc); err == nil {
+		t.Fatal("corrupt clip classified without error")
+	}
+
+	before := imaging.PoolBalance()
+	if _, err := sys.ClassifyClip(lc); err == nil {
+		t.Fatal("corrupt clip classified without error")
+	}
+	if leaked := imaging.PoolBalance() - before; leaked != 0 {
+		t.Fatalf("batch error path leaked %d pooled buffers", leaked)
+	}
+}
+
+// noBackgroundClip builds a clip that fails classification immediately:
+// with extraction enabled and no background frame, silhouetteSource
+// errors before any frame is read.
+func noBackgroundClip(t *testing.T, seed int64) dataset.LabeledClip {
+	t.Helper()
+	clip, err := synth.Generate(synth.DefaultSpec(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dataset.LabeledClip{
+		Name: "no-background",
+		Clip: &synth.Clip{Frames: clip.Frames},
+	}
+}
+
+// TestSequentialAbortChecksClipBackIn pins the seqTracked fix: when the
+// consumer aborts early on a classify error — or closes the source
+// before io.EOF — the last pulled clip must be checked back in, leaving
+// the engine's inflight accounting at zero. A long-lived server reads
+// that count for admission decisions, so a stuck checkout is a slow
+// capacity leak.
+func TestSequentialAbortChecksClipBackIn(t *testing.T) {
+	eng, err := NewEngine(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := noBackgroundClip(t, 75)
+
+	t.Run("evaluate-error", func(t *testing.T) {
+		_, _, err := eng.EvaluateSource(dataset.Materialized([]dataset.LabeledClip{bad}))
+		if err == nil {
+			t.Fatal("clip without background evaluated without error")
+		}
+		if got := eng.CheckedOut(); got != 0 {
+			t.Fatalf("after aborted EvaluateSource: %d clips still checked out, want 0", got)
+		}
+	})
+
+	t.Run("classify-all-error", func(t *testing.T) {
+		_, err := eng.ClassifyAllSource(dataset.Materialized([]dataset.LabeledClip{bad}))
+		if err == nil {
+			t.Fatal("clip without background classified without error")
+		}
+		if got := eng.CheckedOut(); got != 0 {
+			t.Fatalf("after aborted ClassifyAllSource: %d clips still checked out, want 0", got)
+		}
+	})
+
+	t.Run("close-before-eof", func(t *testing.T) {
+		ts := eng.seqSource(dataset.Materialized([]dataset.LabeledClip{bad, bad}))
+		if _, err := ts.Next(); err != nil {
+			t.Fatal(err)
+		}
+		if got := eng.CheckedOut(); got != 1 {
+			t.Fatalf("after Next: %d clips checked out, want 1", got)
+		}
+		if err := ts.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := eng.CheckedOut(); got != 0 {
+			t.Fatalf("after Close: %d clips still checked out, want 0", got)
+		}
+	})
+
+	t.Run("train-error", func(t *testing.T) {
+		err := eng.TrainSource(dataset.Materialized([]dataset.LabeledClip{bad}))
+		if err == nil {
+			t.Fatal("clip without background trained without error")
+		}
+		if got := eng.CheckedOut(); got != 0 {
+			t.Fatalf("after aborted TrainSource: %d clips still checked out, want 0", got)
+		}
+	})
+
+	// EOF without error must stay balanced too (the pre-existing path).
+	t.Run("clean-eof", func(t *testing.T) {
+		ts := eng.seqSource(dataset.Materialized(nil))
+		if _, err := ts.Next(); err != io.EOF {
+			t.Fatalf("Next = %v, want io.EOF", err)
+		}
+		if got := eng.CheckedOut(); got != 0 {
+			t.Fatalf("after EOF: %d clips checked out, want 0", got)
+		}
+	})
+}

@@ -69,6 +69,7 @@ func PutBinary(b *Binary) {
 		return
 	}
 	b.pooled = true
+	poolStats.Puts.Inc()
 	binaryPool.Put(b) //slj:alloc-ok sync.Pool round trip; boxing a pointer into any does not allocate
 }
 
@@ -99,6 +100,7 @@ func PutGray(g *Gray) {
 		return
 	}
 	g.pooled = true
+	poolStats.Puts.Inc()
 	grayPool.Put(g) //slj:alloc-ok sync.Pool round trip; boxing a pointer into any does not allocate
 }
 
@@ -129,5 +131,6 @@ func PutRGB(m *RGB) {
 		return
 	}
 	m.pooled = true
+	poolStats.Puts.Inc()
 	rgbPool.Put(m) //slj:alloc-ok sync.Pool round trip; boxing a pointer into any does not allocate
 }

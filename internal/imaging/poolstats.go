@@ -5,10 +5,14 @@ import "repro/internal/obs"
 // PoolStats counts buffer-pool traffic across all three image pools.
 // A hit is a Get served by a recycled buffer, a miss is a Get that had
 // to allocate a fresh image (the pool was empty or the GC emptied it),
-// and a double Put is a Put of an already-pooled image that the pooled
-// flag degraded to a no-op. The distinction was previously invisible:
-// Get* zeroes the buffer either way, so only these counters reveal
-// whether the pool actually absorbs the per-frame churn.
+// a put is a successful return to the pool, and a double Put is a Put
+// of an already-pooled image that the pooled flag degraded to a no-op.
+// The distinction was previously invisible: Get* zeroes the buffer
+// either way, so only these counters reveal whether the pool actually
+// absorbs the per-frame churn. Because gets == hits + misses, the
+// difference (hits + misses) - puts is the number of buffers currently
+// checked out of the pools — a leak detector when diffed across a
+// region that should be balanced.
 //
 // The counters are process-global (the pools are too) and always on —
 // each is a single uncontended atomic add, far below the cost of the
@@ -17,6 +21,7 @@ import "repro/internal/obs"
 type PoolStats struct {
 	Hits       obs.Counter
 	Misses     obs.Counter
+	Puts       obs.Counter
 	DoublePuts obs.Counter
 }
 
@@ -29,6 +34,14 @@ func Pool() *PoolStats { return &poolStats }
 // reading, for tests and registry pull-metrics.
 func PoolCounters() (hits, misses, doublePuts int64) {
 	return poolStats.Hits.Value(), poolStats.Misses.Value(), poolStats.DoublePuts.Value()
+}
+
+// PoolBalance returns gets - puts: the number of pooled buffers
+// currently checked out across the three image pools. Escaped buffers
+// (deliberately never Put) keep the absolute value positive; diff two
+// readings around a region expected to release everything it got.
+func PoolBalance() int64 {
+	return poolStats.Hits.Value() + poolStats.Misses.Value() - poolStats.Puts.Value()
 }
 
 // countGet classifies one pool Get: a recycled image comes back with

@@ -68,6 +68,23 @@ func ServeWith(addr string, cfg ServeConfig) (*Server, error) {
 		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
+	MountDebug(mux, cfg)
+	s := &Server{
+		srv:    &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:     ln,
+		health: cfg.Health,
+		sink:   cfg.LogSink,
+	}
+	go s.srv.Serve(ln) //nolint — Serve always returns non-nil after Close
+	return s, nil
+}
+
+// MountDebug registers the /debug endpoint set on mux — the same
+// surface ServeWith exposes, for callers (the serving layer) that run
+// their own http.Server and want the observability endpoints alongside
+// their application routes. Absent cfg subsystems simply don't mount
+// their endpoints; pprof and /debug/vars are always mounted.
+func MountDebug(mux *http.ServeMux, cfg ServeConfig) {
 	mux.Handle("/debug/vars", expvar.Handler())
 	if reg := cfg.Registry; reg != nil {
 		reg.PublishExpvar("slj")
@@ -109,14 +126,6 @@ func ServeWith(addr string, cfg ServeConfig) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &Server{
-		srv:    &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
-		ln:     ln,
-		health: cfg.Health,
-		sink:   cfg.LogSink,
-	}
-	go s.srv.Serve(ln) //nolint — Serve always returns non-nil after Close
-	return s, nil
 }
 
 // Addr returns the bound listen address (useful with ":0").

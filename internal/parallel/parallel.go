@@ -240,8 +240,13 @@ type token[T any] struct {
 //
 // On a stage error the pipeline drains and the error of the lowest item
 // index that failed in the EARLIEST stage to touch it is returned — the
-// error a sequential stage-by-stage loop would have hit first. Results
-// are nil on error.
+// error a sequential stage-by-stage loop would have hit first. The
+// results slice is still returned alongside the error: items that
+// traversed every stage before the failure keep their slot (items at or
+// past the failing index, and the failing item itself, are zero values).
+// Callers whose stage outputs own resources — pooled buffers, say —
+// must walk the partial results and release them; callers that only
+// want the values should ignore the slice when err != nil.
 func Pipeline[T any](bound int, items []T, stages ...func(i int, v T) (T, error)) ([]T, error) {
 	if len(stages) == 0 || len(items) == 0 {
 		out := make([]T, len(items))
@@ -325,7 +330,7 @@ func Pipeline[T any](bound int, items []T, stages ...func(i int, v T) (T, error)
 		out[t.i] = t.v
 	}
 	if errIdx >= 0 {
-		return nil, pipErr
+		return out, pipErr
 	}
 	return out, nil
 }

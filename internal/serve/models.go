@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sync"
+
+	slj "repro"
+)
+
+// modelCache maps serialized-model content hashes to loaded engines, so
+// repeated requests against the same DBN bank pay the deserialization
+// and worker-clone cost once. Keying by content hash — not by path —
+// means a model file atomically replaced on disk gets a fresh engine on
+// its next request while requests still in flight keep the old one, and
+// two paths holding identical bytes share one entry.
+//
+// Eviction is FIFO with a small cap: a serving process hosts a handful
+// of model generations, not an unbounded zoo, and evicted engines are
+// simply released to the GC (engines hold no file handles).
+type modelCache struct {
+	workers int
+	opts    []slj.Option
+	cap     int
+
+	mu      sync.Mutex
+	entries map[string]*slj.Engine
+	order   []string // insertion order for FIFO eviction
+}
+
+func newModelCache(workers, capacity int, opts []slj.Option) *modelCache {
+	if capacity < 1 {
+		capacity = 4
+	}
+	return &modelCache{
+		workers: workers,
+		opts:    opts,
+		cap:     capacity,
+		entries: make(map[string]*slj.Engine),
+	}
+}
+
+// engineFor loads the model file at path (already confined by the
+// caller) and returns the cached engine for its content hash, building
+// one on first sight.
+func (c *modelCache) engineFor(path string) (*slj.Engine, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading model: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	key := hex.EncodeToString(sum[:])
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if eng, ok := c.entries[key]; ok {
+		return eng, nil
+	}
+	eng, err := slj.NewEngine(c.workers, c.opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.LoadModel(bytes.NewReader(data)); err != nil {
+		return nil, err
+	}
+	if len(c.order) >= c.cap {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.entries[key] = eng
+	c.order = append(c.order, key)
+	return eng, nil
+}
+
+// engines snapshots every cached engine (for pull metrics summing
+// checked-out clips across all of them).
+func (c *modelCache) engines() []*slj.Engine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*slj.Engine, 0, len(c.order))
+	for _, key := range c.order {
+		out = append(out, c.entries[key])
+	}
+	return out
+}
+
+// Len reports the number of cached models.
+func (c *modelCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,82 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke for the serving layer (make serve-smoke).
+#
+# Builds sljserve + sljload, generates a tiny corpus, starts the server
+# on an ephemeral port, then asserts the serving contract from outside:
+#
+#   1. a clean low-QPS run succeeds completely (no shedding, no failures),
+#      /debug/health answers ready, and the pool-leak gauges read zero —
+#      the server returned every clip and silhouette buffer it borrowed;
+#   2. an overload run (offered QPS far above the worker budget) is shed
+#      with 503s rather than queued or failed;
+#   3. SIGTERM drains and the process exits 0.
+#
+# Any assertion failure exits non-zero, so CI fails loudly.
+set -eu
+
+workdir=$(mktemp -d)
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+server_pid=
+
+echo "serve-smoke: building into $workdir"
+go build -o "$workdir" ./cmd/sljserve ./cmd/sljload ./cmd/sljgen
+"$workdir/sljgen" -out "$workdir/data" -train 2 -test 2 -seed 2008 > /dev/null
+
+"$workdir/sljserve" -data "$workdir/data" -addr 127.0.0.1:0 \
+    -addr-file "$workdir/addr.txt" -workers 2 \
+    -sample-interval 100ms -log "$workdir/server.log" \
+    > "$workdir/server.out" 2>&1 &
+server_pid=$!
+
+# Wait for the server to train and bind.
+i=0
+while [ ! -s "$workdir/addr.txt" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "serve-smoke: server never wrote addr file" >&2
+        cat "$workdir/server.out" >&2
+        exit 1
+    fi
+    kill -0 "$server_pid" 2>/dev/null || {
+        echo "serve-smoke: server exited during startup" >&2
+        cat "$workdir/server.out" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+addr=$(cat "$workdir/addr.txt")
+echo "serve-smoke: server up at $addr"
+
+# 1. Clean run: every request admitted and answered.
+"$workdir/sljload" -addr "$addr" -clips 6 -qps 3 -out "$workdir/clean.json"
+grep -q '"succeeded": 6' "$workdir/clean.json"
+grep -q '"shed": 0' "$workdir/clean.json"
+grep -q '"failed": 0' "$workdir/clean.json"
+grep -q '"health_ready": true' "$workdir/clean.json"
+grep -q '"engine_clips_checked_out": 0' "$workdir/clean.json"
+grep -q '"imaging_pool_balance": 0' "$workdir/clean.json"
+grep -q '"server_inflight_workers": 0' "$workdir/clean.json"
+echo "serve-smoke: clean run ok (6/6, pool gauges zero, health ready)"
+
+# 2. Overload run: offered load far above the 2-worker budget must shed.
+"$workdir/sljload" -addr "$addr" -clips 40 -qps 200 -out "$workdir/overload.json"
+grep -q '"failed": 0' "$workdir/overload.json"
+if grep -q '"shed": 0' "$workdir/overload.json"; then
+    echo "serve-smoke: overload run shed nothing — admission control inert" >&2
+    cat "$workdir/overload.json" >&2
+    exit 1
+fi
+echo "serve-smoke: overload run shed load as designed"
+
+# 3. Graceful shutdown: SIGTERM drains and exits 0.
+kill -TERM "$server_pid"
+rc=0
+wait "$server_pid" || rc=$?
+server_pid=
+if [ "$rc" -ne 0 ]; then
+    echo "serve-smoke: server exited $rc on SIGTERM" >&2
+    cat "$workdir/server.out" >&2
+    exit 1
+fi
+grep -q "shutdown complete" "$workdir/server.out"
+echo "serve-smoke: graceful shutdown ok"

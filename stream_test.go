@@ -138,7 +138,8 @@ func TestStreamingEvaluateCorruptClip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	for _, workers := range []int{1, 4} {
+	var want string
+	for _, workers := range []int{1, 4, 8} {
 		eng, err := NewEngine(workers)
 		if err != nil {
 			t.Fatal(err)
@@ -154,6 +155,79 @@ func TestStreamingEvaluateCorruptClip(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), "test-01") {
 			t.Errorf("workers=%d: error %q does not name the corrupt clip test-01", workers, err)
+		}
+		// The message must not depend on the worker count.
+		if workers == 1 {
+			want = err.Error()
+		} else if err.Error() != want {
+			t.Errorf("workers=%d: error %q differs from sequential error %q", workers, err, want)
+		}
+	}
+}
+
+// TestStreamingSourceErrorMessageParity garbles a clip HEADER — so the
+// failure surfaces in the source pull (Next) rather than inside a
+// worker's frame loop — and pins the error text across worker counts:
+// the sequential delegates wrap source errors with the package prefix
+// ("slj: ..."), and the parallel MapSource paths must report the
+// byte-identical message at workers 8.
+func TestStreamingSourceErrorMessageParity(t *testing.T) {
+	ds, err := GenerateDataset(dataset.GenOptions{
+		TrainClips: 2, TestClips: 3, Seed: 72, FaultEvery: 0, VaryBody: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := saveCorpus(t, ds)
+	_, model := trainGolden(t, ds)
+
+	// Garbling the background makes OpenClip — and therefore Next — fail.
+	victim := filepath.Join(root, "test", "test-01", "background.ppm")
+	if err := os.WriteFile(victim, []byte("not a ppm"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	calls := []struct {
+		name string
+		run  func(e *Engine, src dataset.ClipSource) error
+	}{
+		{"EvaluateSource", func(e *Engine, src dataset.ClipSource) error {
+			_, _, err := e.EvaluateSource(src)
+			return err
+		}},
+		{"ClassifyAllSource", func(e *Engine, src dataset.ClipSource) error {
+			_, err := e.ClassifyAllSource(src)
+			return err
+		}},
+	}
+	for _, call := range calls {
+		var want string
+		for _, workers := range []int{1, 8} {
+			eng, err := NewEngine(workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.LoadModel(bytes.NewReader(model)); err != nil {
+				t.Fatal(err)
+			}
+			src := openSplit(t, root, "test")
+			err = call.run(eng, src)
+			src.Close()
+			if err == nil {
+				t.Fatalf("%s workers=%d: corrupt header streamed without error", call.name, workers)
+			}
+			if !strings.Contains(err.Error(), "test-01") {
+				t.Errorf("%s workers=%d: error %q does not name the corrupt clip", call.name, workers, err)
+			}
+			if !strings.HasPrefix(err.Error(), "slj: ") {
+				t.Errorf("%s workers=%d: error %q lacks the package prefix", call.name, workers, err)
+			}
+			if workers == 1 {
+				want = err.Error()
+			} else if err.Error() != want {
+				t.Errorf("%s workers=%d: error %q differs from sequential error %q",
+					call.name, workers, err, want)
+			}
 		}
 	}
 }
